@@ -1,0 +1,85 @@
+"""FIG4 — Tree-shaped worst case for the exhaustive search.
+
+The paper's Figure 4 introduces tree-shaped DFGs (depth 4–7) as the worst case
+for the search-space-exploration algorithms [4][15]: on them the exhaustive
+search degenerates towards its exponential bound (O(1.6^n) for [4]) while the
+polynomial algorithm keeps its O(n^(Nin+Nout+1)) behaviour.
+
+Wall-clock times in pure Python mix algorithmic behaviour with very different
+constant factors, so this benchmark also records the machine-independent work
+counters — explored search-tree nodes for the exhaustive algorithm, dominator
+computations plus candidate checks for the polynomial one — and checks how
+they grow from one tree depth to the next.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import enumerate_cuts_exhaustive
+from repro.core import Constraints, enumerate_cuts
+from repro.workloads import tree_dfg
+
+
+#: The microarchitectural constraint used throughout the paper's evaluation.
+PAPER_CONSTRAINTS = Constraints(max_inputs=4, max_outputs=2)
+
+SMALL_DEPTHS = (2, 3, 4)
+FULL_DEPTHS = (2, 3, 4, 5)
+
+
+def _depths(scale: str):
+    return FULL_DEPTHS if scale == "full" else SMALL_DEPTHS
+
+
+@pytest.mark.parametrize("depth", SMALL_DEPTHS)
+def test_fig4_polynomial_on_tree(benchmark, depth):
+    graph = tree_dfg(depth)
+    result = benchmark(lambda: enumerate_cuts(graph, PAPER_CONSTRAINTS))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("depth", SMALL_DEPTHS)
+def test_fig4_exhaustive_on_tree(benchmark, depth):
+    graph = tree_dfg(depth)
+    result = benchmark(lambda: enumerate_cuts_exhaustive(graph, PAPER_CONSTRAINTS))
+    assert len(result) > 0
+
+
+def test_fig4_growth_table(bench_scale, capsys):
+    """Work-counter growth across tree depths (the shape the figure demonstrates)."""
+    rows = []
+    previous = None
+    for depth in _depths(bench_scale):
+        graph = tree_dfg(depth)
+        poly = enumerate_cuts(graph, PAPER_CONSTRAINTS)
+        exhaustive = enumerate_cuts_exhaustive(graph, PAPER_CONSTRAINTS)
+        poly_work = poly.stats.lt_calls + poly.stats.candidates_checked
+        exhaustive_work = exhaustive.stats.pick_output_calls
+        row = {
+            "depth": depth,
+            "nodes": graph.num_nodes,
+            "cuts": len(exhaustive),
+            "poly_work": poly_work,
+            "poly_seconds": poly.stats.elapsed_seconds,
+            "exhaustive_search_nodes": exhaustive_work,
+            "exhaustive_seconds": exhaustive.stats.elapsed_seconds,
+        }
+        if previous is not None:
+            row["poly_work_growth"] = round(poly_work / previous["poly_work"], 2)
+            row["exhaustive_growth"] = round(
+                exhaustive_work / previous["exhaustive_search_nodes"], 2
+            )
+        rows.append(row)
+        previous = row
+        # Both algorithms must agree on the tree (completeness sanity check).
+        assert poly.node_sets() == exhaustive.node_sets()
+
+    from repro.analysis import format_table
+
+    with capsys.disabled():
+        print()
+        print("=" * 72)
+        print("FIG4: growth on tree-shaped worst-case DFGs (Nin=4, Nout=2)")
+        print("=" * 72)
+        print(format_table(rows, columns=list(rows[-1].keys())))

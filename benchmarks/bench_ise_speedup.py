@@ -1,0 +1,78 @@
+"""TAB-ISE — Speedups obtained when the enumerated cuts become custom instructions.
+
+The conclusion of the paper states that the enumeration, used inside the
+authors' compiler toolchain, yields "speedups up to 6x".  This benchmark runs
+the full identification pipeline (enumerate → score → select) on the
+hand-written kernel workloads under several register-file port budgets and
+reports the estimated per-kernel speedups, whose shape should match the
+paper's claim: substantial (>1.5x) speedups on computation-dense kernels,
+growing with the I/O budget, with the best kernels reaching several times the
+baseline performance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Constraints
+from repro.ise import (
+    BlockProfile,
+    SelectionConfig,
+    identify_instruction_set_extension,
+)
+from repro.workloads import build_kernel, kernel_names
+
+IO_BUDGETS = ((2, 1), (4, 2), (6, 3))
+
+#: Kernels used for the speedup table (all of them — they are small).
+KERNELS = tuple(kernel_names())
+
+
+@pytest.mark.parametrize("budget", IO_BUDGETS, ids=[f"{i}in{o}out" for i, o in IO_BUDGETS])
+def test_ise_pipeline_runtime(benchmark, budget):
+    nin, nout = budget
+    blocks = [BlockProfile(build_kernel("crc32_step"), execution_count=1000)]
+    constraints = Constraints(max_inputs=nin, max_outputs=nout)
+    result = benchmark(
+        lambda: identify_instruction_set_extension(
+            blocks, constraints, selection=SelectionConfig(max_instructions=2)
+        )
+    )
+    assert result.application_speedup >= 1.0
+
+
+def test_ise_speedup_table(capsys):
+    rows = []
+    best = {}
+    for name in KERNELS:
+        row = {"kernel": name}
+        for nin, nout in IO_BUDGETS:
+            constraints = Constraints(max_inputs=nin, max_outputs=nout)
+            result = identify_instruction_set_extension(
+                [BlockProfile(build_kernel(name), execution_count=1000)],
+                constraints,
+                selection=SelectionConfig(max_instructions=2),
+            )
+            label = f"{nin}in/{nout}out"
+            row[label] = round(result.application_speedup, 2)
+            best[name] = max(best.get(name, 1.0), result.application_speedup)
+        rows.append(row)
+
+    from repro.analysis import format_table
+
+    with capsys.disabled():
+        print()
+        print("=" * 72)
+        print("TAB-ISE: per-kernel speedup from the identified custom instructions")
+        print("=" * 72)
+        print(format_table(rows))
+        print(f"best speedup over all kernels/budgets: {max(best.values()):.2f}x "
+              "(paper: 'speedups up to 6x' on full applications)")
+
+    speedups = list(best.values())
+    # Every kernel benefits at some budget, several benefit substantially.
+    assert all(s >= 1.0 for s in speedups)
+    assert sum(1 for s in speedups if s >= 1.5) >= 3
+    # Note: speedup is not strictly monotone in the port budget — the greedy
+    # selection may trade two small instructions for one large one whose extra
+    # operand transfers eat part of the gain — so no monotonicity is asserted.

@@ -1,0 +1,103 @@
+"""TAB-PRUNE — Ablation of the Section 5.3 pruning techniques.
+
+The paper reports that the pruning rules "do not reduce the asymptotic
+complexity [but] the decrease can be quite dramatic, so that the algorithm is
+practical even for graphs with 1,000 or more nodes".  This benchmark turns
+each rule off in isolation (and all of them together) on a medium-sized
+workload and reports how much search is saved — both as wall-clock time and as
+the number of dominator computations / candidate checks the rule removes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import Constraints, FULL_PRUNING, NO_PRUNING, PruningConfig, enumerate_cuts
+from repro.workloads import SuiteConfig, build_suite
+
+
+PRUNING_FLAGS = (
+    "output_output",
+    "prune_while_building",
+    "output_input",
+    "input_input",
+    "connected_recovery",
+)
+
+
+def _workload(scale: str):
+    if scale == "full":
+        config = SuiteConfig(num_blocks=6, min_operations=20, max_operations=40,
+                             include_kernels=False, include_trees=True, tree_depths=(4,))
+    else:
+        config = SuiteConfig(num_blocks=3, min_operations=10, max_operations=22,
+                             include_kernels=False, include_trees=True, tree_depths=(3,))
+    return build_suite(config)
+
+
+#: The microarchitectural constraint used throughout the paper's evaluation.
+PAPER_CONSTRAINTS = Constraints(max_inputs=4, max_outputs=2)
+
+@pytest.fixture(scope="module")
+def ablation_workload(bench_scale):
+    return _workload(bench_scale)
+
+
+def _total_work(workload, pruning: PruningConfig):
+    lt_calls = 0
+    candidates = 0
+    cuts = 0
+    seconds = 0.0
+    for graph in workload:
+        result = enumerate_cuts(graph, PAPER_CONSTRAINTS, pruning=pruning)
+        lt_calls += result.stats.lt_calls
+        candidates += result.stats.candidates_checked
+        cuts += len(result)
+        seconds += result.stats.elapsed_seconds
+    return {"lt_calls": lt_calls, "candidates": candidates, "cuts": cuts, "seconds": seconds}
+
+
+@pytest.mark.parametrize("configuration", ["full_pruning", "no_pruning"])
+def test_pruning_end_to_end(benchmark, ablation_workload, configuration):
+    pruning = FULL_PRUNING if configuration == "full_pruning" else NO_PRUNING
+    graph = ablation_workload[0]
+    benchmark(lambda: enumerate_cuts(graph, PAPER_CONSTRAINTS, pruning=pruning))
+
+
+def test_pruning_ablation_table(ablation_workload, capsys):
+    rows = []
+    baseline = _total_work(ablation_workload, FULL_PRUNING)
+    rows.append({"configuration": "all prunings", **baseline, "slowdown_vs_full": 1.0})
+    for flag in PRUNING_FLAGS:
+        work = _total_work(ablation_workload, FULL_PRUNING.disable(flag))
+        rows.append(
+            {
+                "configuration": f"without {flag}",
+                **work,
+                "slowdown_vs_full": round(work["seconds"] / max(baseline["seconds"], 1e-9), 2),
+            }
+        )
+    nothing = _total_work(ablation_workload, NO_PRUNING)
+    rows.append(
+        {
+            "configuration": "no pruning (plain Figure 3)",
+            **nothing,
+            "slowdown_vs_full": round(nothing["seconds"] / max(baseline["seconds"], 1e-9), 2),
+        }
+    )
+
+    from repro.analysis import format_table
+
+    with capsys.disabled():
+        print()
+        print("=" * 72)
+        print("TAB-PRUNE: pruning-rule ablation (totals over the ablation workload)")
+        print("=" * 72)
+        print(format_table(rows))
+
+    # Pruning must never increase the amount of work, and the full
+    # configuration must beat the bare algorithm clearly.
+    assert baseline["lt_calls"] <= nothing["lt_calls"]
+    assert baseline["candidates"] <= nothing["candidates"]

@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark file reproduces one experiment of the paper (see DESIGN.md's
+experiment index).  The graphs are scaled to sizes a pure-Python
+implementation can enumerate in seconds; the quantities that matter for the
+reproduction are the *shapes*: polynomial vs. exponential growth, which
+algorithm wins where, and how the pruning rules and the dominator kernel
+contribute.  Absolute times are hardware- and interpreter-dependent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Constraints
+
+#: The microarchitectural constraint used throughout the paper's evaluation.
+PAPER_CONSTRAINTS = Constraints(max_inputs=4, max_outputs=2)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        default="small",
+        choices=("small", "full"),
+        help="'small' keeps every benchmark in the seconds range; "
+        "'full' uses larger graphs closer to the paper's block sizes.",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> str:
+    """Benchmark scale selected on the command line."""
+    return request.config.getoption("--bench-scale")

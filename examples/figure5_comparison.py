@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Reproduce the Figure 5 run-time comparison on a MiBench-like suite.
+
+Runs the paper's polynomial enumeration algorithm and the pruned exhaustive
+search of Pozzi et al. [15] on every block of a synthetic MiBench-like suite
+(plus the tree-shaped worst-case graphs of Figure 4), with the Nin=4 / Nout=2
+constraint used in the paper, and prints:
+
+* the log-log scatter of run times (points above the diagonal = the
+  polynomial algorithm is faster), the same presentation as Figure 5;
+* the underlying per-block table with machine-independent work counters;
+* a per-cluster summary.
+
+Use ``--blocks`` / ``--max-ops`` to scale the experiment up or down; the
+default finishes in a couple of minutes on a laptop.
+
+Run with ``python examples/figure5_comparison.py [--blocks N] [--max-ops M]``.
+"""
+
+import argparse
+
+from repro.analysis import cluster_summary, compare_on_suite, figure5_report, format_table
+from repro.core import Constraints
+from repro.workloads import SuiteConfig, build_suite, size_cluster
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--blocks", type=int, default=12, help="number of synthetic blocks")
+    parser.add_argument("--min-ops", type=int, default=8, help="smallest block size")
+    parser.add_argument("--max-ops", type=int, default=30, help="largest block size")
+    parser.add_argument("--tree-depth", type=int, default=3, help="depth of the tree worst case")
+    parser.add_argument("--max-inputs", type=int, default=4)
+    parser.add_argument("--max-outputs", type=int, default=2)
+    args = parser.parse_args()
+
+    suite = build_suite(
+        SuiteConfig(
+            num_blocks=args.blocks,
+            min_operations=args.min_ops,
+            max_operations=args.max_ops,
+            include_kernels=True,
+            include_trees=True,
+            tree_depths=(args.tree_depth,),
+        )
+    )
+    constraints = Constraints(max_inputs=args.max_inputs, max_outputs=args.max_outputs)
+
+    print(f"comparing on {len(suite)} basic blocks, {constraints.describe()} ...")
+    report = compare_on_suite(suite, constraints, cluster_of=size_cluster)
+
+    print()
+    print(figure5_report(report))
+    print()
+    print("per-cluster summary:")
+    print(format_table(cluster_summary(report)))
+
+
+if __name__ == "__main__":
+    main()

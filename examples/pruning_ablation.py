@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Measure the contribution of each pruning technique of Section 5.3.
+
+Enumerates the cuts of a medium-sized synthetic basic block (containing the
+memory operations that make the forbidden-node prunings relevant) with every
+pruning rule enabled, with each rule disabled in turn, and with no pruning at
+all, and reports the amount of search each configuration performs.
+
+Run with ``python examples/pruning_ablation.py [--ops N]``.
+"""
+
+import argparse
+
+from repro.analysis import format_table
+from repro.core import Constraints, FULL_PRUNING, NO_PRUNING, enumerate_cuts
+from repro.workloads import SyntheticBlockSpec, generate_basic_block
+
+PRUNING_FLAGS = (
+    "output_output",
+    "prune_while_building",
+    "output_input",
+    "input_input",
+    "connected_recovery",
+)
+
+
+def measure(graph, constraints, pruning, label):
+    result = enumerate_cuts(graph, constraints, pruning=pruning)
+    return {
+        "configuration": label,
+        "cuts": len(result),
+        "dominator_calls": result.stats.lt_calls,
+        "candidates_checked": result.stats.candidates_checked,
+        "seconds": round(result.stats.elapsed_seconds, 3),
+        "branches_pruned": sum(result.stats.pruned.values()),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=18, help="operations in the test block")
+    parser.add_argument("--seed", type=int, default=5, help="workload seed")
+    args = parser.parse_args()
+
+    graph = generate_basic_block(
+        SyntheticBlockSpec(
+            num_operations=args.ops,
+            num_external_inputs=4,
+            memory_fraction=0.2,
+            seed=args.seed,
+            name="ablation_block",
+        )
+    )
+    constraints = Constraints(max_inputs=4, max_outputs=2)
+    print(
+        f"block with {len(graph.operation_nodes())} operations "
+        f"({len(graph.forbidden_nodes())} forbidden vertices), {constraints.describe()}"
+    )
+    print()
+
+    rows = [measure(graph, constraints, FULL_PRUNING, "all prunings")]
+    for flag in PRUNING_FLAGS:
+        rows.append(
+            measure(graph, constraints, FULL_PRUNING.disable(flag), f"without {flag}")
+        )
+    rows.append(measure(graph, constraints, NO_PRUNING, "no pruning (plain Figure 3)"))
+
+    print(format_table(rows))
+    print()
+    print("The pruning rules do not change the asymptotic complexity (Section 5.3),")
+    print("but they remove a large fraction of the explored dominator computations,")
+    print("which is what makes the algorithm practical on large basic blocks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that fully offline environments (no access to PyPI for build isolation, no
+``wheel`` package) can still do an editable install with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Analysis and reporting: comparison harness, cut statistics, text reports."""
+
+from .comparison import (
+    AlgorithmEntry,
+    BlockMeasurement,
+    ComparisonReport,
+    agreement_check,
+    compare_on_suite,
+    default_algorithms,
+)
+from .metrics import (
+    CutPopulationStats,
+    count_cuts_by_constraint,
+    population_stats,
+    result_summary,
+)
+from .reporting import cluster_summary, figure5_report, format_table, scatter_plot
+
+__all__ = [
+    "AlgorithmEntry",
+    "BlockMeasurement",
+    "ComparisonReport",
+    "agreement_check",
+    "compare_on_suite",
+    "default_algorithms",
+    "CutPopulationStats",
+    "count_cuts_by_constraint",
+    "population_stats",
+    "result_summary",
+    "cluster_summary",
+    "figure5_report",
+    "format_table",
+    "scatter_plot",
+]

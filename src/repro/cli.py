@@ -1,0 +1,208 @@
+"""Command-line interface: ``repro-enum``.
+
+Sub-commands
+------------
+``enumerate``
+    Enumerate the convex cuts of a DFG (JSON file or built-in kernel).
+``compare``
+    Compare the polynomial algorithm against the exhaustive baseline on a
+    workload (the Figure 5 experiment, scaled by ``--blocks``/``--max-ops``).
+``ise``
+    Run the full ISE identification pipeline on one or more kernels.
+``generate``
+    Generate a synthetic workload suite and save it to a directory.
+``kernels``
+    List the built-in hand-written kernels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.comparison import compare_on_suite
+from .analysis.metrics import population_stats, result_summary
+from .analysis.reporting import cluster_summary, figure5_report, format_table
+from .baselines.exhaustive import enumerate_cuts_exhaustive
+from .core.constraints import Constraints
+from .core.incremental import enumerate_cuts
+from .dfg.serialization import load as load_graph
+from .ise.pipeline import BlockProfile, identify_instruction_set_extension
+from .ise.selection import SelectionConfig
+from .workloads.kernels import KERNEL_FACTORIES, build_kernel, kernel_names
+from .workloads.mibench_like import SuiteConfig, build_suite, size_cluster
+from .workloads.suite import WorkloadSuite
+
+
+def _add_constraint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-inputs", type=int, default=4, help="Nin (default 4)")
+    parser.add_argument("--max-outputs", type=int, default=2, help="Nout (default 2)")
+    parser.add_argument(
+        "--allow-memory",
+        action="store_true",
+        help="allow loads/stores inside custom instructions",
+    )
+    parser.add_argument(
+        "--connected-only",
+        action="store_true",
+        help="restrict the search to connected cuts",
+    )
+
+
+def _constraints_from(args: argparse.Namespace) -> Constraints:
+    return Constraints(
+        max_inputs=args.max_inputs,
+        max_outputs=args.max_outputs,
+        allow_memory_ops=args.allow_memory,
+        connected_only=args.connected_only,
+    )
+
+
+def _load_target(target: str):
+    """Interpret *target* as a kernel name or a JSON graph file."""
+    if target in KERNEL_FACTORIES:
+        return build_kernel(target)
+    path = Path(target)
+    if path.exists():
+        return load_graph(path)
+    raise SystemExit(
+        f"unknown target {target!r}: not a built-in kernel "
+        f"({', '.join(kernel_names())}) and not an existing file"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Sub-commands
+# --------------------------------------------------------------------------- #
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    graph = _load_target(args.target)
+    constraints = _constraints_from(args)
+    if args.algorithm == "exhaustive":
+        result = enumerate_cuts_exhaustive(graph, constraints)
+    else:
+        result = enumerate_cuts(graph, constraints)
+    print(result_summary(result))
+    print()
+    print(population_stats(result.cuts).summary())
+    if args.show_cuts:
+        print()
+        for cut in sorted(result.cuts, key=lambda c: (-c.num_nodes, sorted(c.nodes))):
+            print("  " + cut.describe())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = SuiteConfig(
+        num_blocks=args.blocks,
+        min_operations=args.min_ops,
+        max_operations=args.max_ops,
+        include_kernels=not args.no_kernels,
+        include_trees=not args.no_trees,
+    )
+    suite = build_suite(config)
+    constraints = _constraints_from(args)
+    report = compare_on_suite(suite, constraints, cluster_of=size_cluster)
+    print(figure5_report(report))
+    print()
+    print(format_table(cluster_summary(report)))
+    return 0
+
+
+def _cmd_ise(args: argparse.Namespace) -> int:
+    blocks = [
+        BlockProfile(graph=_load_target(target), execution_count=args.execution_count)
+        for target in args.targets
+    ]
+    constraints = _constraints_from(args)
+    result = identify_instruction_set_extension(
+        blocks,
+        constraints,
+        selection=SelectionConfig(max_instructions=args.max_instructions),
+        application_name=args.name,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = SuiteConfig(
+        num_blocks=args.blocks,
+        min_operations=args.min_ops,
+        max_operations=args.max_ops,
+    )
+    suite = WorkloadSuite(name=args.name, graphs=build_suite(config))
+    suite.save(args.output)
+    print(f"wrote {len(suite)} graphs to {args.output}")
+    return 0
+
+
+def _cmd_kernels(_: argparse.Namespace) -> int:
+    for name in kernel_names():
+        graph = build_kernel(name)
+        print(
+            f"{name:20s} {len(graph.operation_nodes()):3d} operations, "
+            f"{graph.num_edges:3d} edges"
+        )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-enum",
+        description="Polynomial-time convex subgraph enumeration for instruction set extension",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_enum = subparsers.add_parser("enumerate", help="enumerate cuts of one basic block")
+    p_enum.add_argument("target", help="kernel name or path to a DFG JSON file")
+    p_enum.add_argument(
+        "--algorithm", choices=("poly", "exhaustive"), default="poly"
+    )
+    p_enum.add_argument("--show-cuts", action="store_true", help="print every cut")
+    _add_constraint_arguments(p_enum)
+    p_enum.set_defaults(func=_cmd_enumerate)
+
+    p_cmp = subparsers.add_parser("compare", help="compare algorithms on a suite (Figure 5)")
+    p_cmp.add_argument("--blocks", type=int, default=20)
+    p_cmp.add_argument("--min-ops", type=int, default=10)
+    p_cmp.add_argument("--max-ops", type=int, default=40)
+    p_cmp.add_argument("--no-kernels", action="store_true")
+    p_cmp.add_argument("--no-trees", action="store_true")
+    _add_constraint_arguments(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_ise = subparsers.add_parser("ise", help="identify an instruction set extension")
+    p_ise.add_argument("targets", nargs="+", help="kernel names or DFG JSON files")
+    p_ise.add_argument("--name", default="application")
+    p_ise.add_argument("--execution-count", type=float, default=1000.0)
+    p_ise.add_argument("--max-instructions", type=int, default=4)
+    _add_constraint_arguments(p_ise)
+    p_ise.set_defaults(func=_cmd_ise)
+
+    p_gen = subparsers.add_parser("generate", help="generate and save a workload suite")
+    p_gen.add_argument("output", help="output directory")
+    p_gen.add_argument("--name", default="suite")
+    p_gen.add_argument("--blocks", type=int, default=30)
+    p_gen.add_argument("--min-ops", type=int, default=10)
+    p_gen.add_argument("--max-ops", type=int, default=60)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_ker = subparsers.add_parser("kernels", help="list built-in kernels")
+    p_ker.set_defaults(func=_cmd_kernels)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-enum`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

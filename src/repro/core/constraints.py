@@ -1,0 +1,98 @@
+"""Microarchitectural constraints on candidate instruction-set extensions.
+
+Section 3 of the paper parameterises the enumeration problem with the number
+of register-file read ports (``Nin``), the number of write ports (``Nout``),
+and a set of forbidden vertices.  This module bundles those parameters (plus
+the optional restrictions discussed in the related-work and pruning sections:
+connectedness and a depth limit) into a single validated value object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Constraints a convex cut must satisfy to be a valid custom instruction.
+
+    Attributes
+    ----------
+    max_inputs:
+        ``Nin`` — maximum number of cut inputs (register-file read ports).
+    max_outputs:
+        ``Nout`` — maximum number of cut outputs (register-file write ports).
+    allow_memory_ops:
+        When ``True``, loads and stores are allowed inside custom instructions
+        (a custom functional unit with a memory port, cf. Biswas et al. [7]);
+        by default they are forbidden, as in the paper's experiments.
+    connected_only:
+        Restrict the enumeration to connected cuts (Definition 4), the
+        simplification adopted by Yu and Mitra [17].  The paper's algorithm
+        "can be set up to only search for connected cuts" (Section 5.3).
+    max_depth:
+        Optional limit on the depth (longest path, in operations) of a cut,
+        the restriction used by Configurable Compute Accelerators (Clark et
+        al. [10]) and by Choi et al. [9].  ``None`` means unlimited.
+    extra_forbidden:
+        Additional vertex ids forbidden by the user on top of the opcode-based
+        defaults.
+    """
+
+    max_inputs: int = 4
+    max_outputs: int = 2
+    allow_memory_ops: bool = False
+    connected_only: bool = False
+    max_depth: Optional[int] = None
+    extra_forbidden: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.max_inputs < 1:
+            raise ValueError(f"max_inputs must be >= 1, got {self.max_inputs}")
+        if self.max_outputs < 1:
+            raise ValueError(f"max_outputs must be >= 1, got {self.max_outputs}")
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1 or None, got {self.max_depth}")
+        if not isinstance(self.extra_forbidden, frozenset):
+            object.__setattr__(self, "extra_forbidden", frozenset(self.extra_forbidden))
+
+    def with_io(self, max_inputs: int, max_outputs: int) -> "Constraints":
+        """Return a copy with a different input/output budget."""
+        return Constraints(
+            max_inputs=max_inputs,
+            max_outputs=max_outputs,
+            allow_memory_ops=self.allow_memory_ops,
+            connected_only=self.connected_only,
+            max_depth=self.max_depth,
+            extra_forbidden=self.extra_forbidden,
+        )
+
+    def with_forbidden(self, extra_forbidden: Iterable[int]) -> "Constraints":
+        """Return a copy with additional user-forbidden vertices."""
+        return Constraints(
+            max_inputs=self.max_inputs,
+            max_outputs=self.max_outputs,
+            allow_memory_ops=self.allow_memory_ops,
+            connected_only=self.connected_only,
+            max_depth=self.max_depth,
+            extra_forbidden=frozenset(self.extra_forbidden) | frozenset(extra_forbidden),
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the constraint set."""
+        parts = [f"Nin={self.max_inputs}", f"Nout={self.max_outputs}"]
+        if self.allow_memory_ops:
+            parts.append("memory-ops-allowed")
+        if self.connected_only:
+            parts.append("connected-only")
+        if self.max_depth is not None:
+            parts.append(f"max-depth={self.max_depth}")
+        if self.extra_forbidden:
+            parts.append(f"extra-forbidden={sorted(self.extra_forbidden)}")
+        return ", ".join(parts)
+
+
+#: The constraint set used for Figure 5 of the paper (4 inputs, 2 outputs,
+#: memory operations forbidden).
+PAPER_DEFAULT_CONSTRAINTS = Constraints(max_inputs=4, max_outputs=2)

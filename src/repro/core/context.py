@@ -1,0 +1,135 @@
+"""Enumeration context: everything precomputed before the search starts.
+
+The paper's Section 5.4 lists the data structures kept by the implementation:
+adjacency lists and matrix, path-presence information annotated with forbidden
+vertices, and the dominator/postdominator trees.  :class:`EnumerationContext`
+bundles all of them, derived once from a :class:`~repro.dfg.graph.DataFlowGraph`
+and a :class:`~repro.core.constraints.Constraints` object, and is shared by
+every enumeration algorithm and by the validity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dfg.augment import AugmentedDFG, augment
+from ..dfg.graph import DataFlowGraph
+from ..dfg.opcodes import is_memory
+from ..dfg.reachability import ReachabilityInfo, mask_from_ids
+from ..dominators.dominator_tree import DominatorTree
+from ..dominators.postdominators import dominator_tree_of, postdominator_tree_of
+from .constraints import Constraints
+
+
+@dataclass
+class EnumerationContext:
+    """Precomputed view of a basic block, ready for cut enumeration.
+
+    Use :meth:`build` to construct one; the attributes are then read-only by
+    convention.
+    """
+
+    constraints: Constraints
+    original_graph: DataFlowGraph
+    augmented: AugmentedDFG
+    reach: ReachabilityInfo
+    dom_tree: DominatorTree
+    postdom_tree: DominatorTree
+    successor_lists: List[List[int]] = field(default_factory=list)
+    predecessor_lists: List[List[int]] = field(default_factory=list)
+    forbidden_mask: int = 0
+    candidate_mask: int = 0
+    candidate_nodes: List[int] = field(default_factory=list)
+    depths: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, graph: DataFlowGraph, constraints: Optional[Constraints] = None) -> "EnumerationContext":
+        """Prepare a context for enumerating the cuts of *graph* under *constraints*."""
+        constraints = constraints or Constraints()
+
+        working = graph.copy()
+        # Apply constraint-driven forbidden flags before augmentation so that
+        # the artificial source is wired to the right vertices.
+        for node in working.nodes():
+            if node.is_operation:
+                if is_memory(node.opcode):
+                    node.forbidden = not constraints.allow_memory_ops
+                if node.node_id in constraints.extra_forbidden:
+                    node.forbidden = True
+
+        augmented = augment(working)
+        reach = ReachabilityInfo(augmented.graph, forbidden=augmented.forbidden)
+        dom_tree = dominator_tree_of(augmented)
+        postdom_tree = postdominator_tree_of(augmented)
+
+        num_nodes = augmented.graph.num_nodes
+        successor_lists = [list(augmented.graph.successors(v)) for v in range(num_nodes)]
+        predecessor_lists = [list(augmented.graph.predecessors(v)) for v in range(num_nodes)]
+
+        forbidden_mask = mask_from_ids(augmented.forbidden)
+        candidate_nodes = [
+            v for v in augmented.original_node_ids() if v not in augmented.forbidden
+        ]
+        candidate_mask = mask_from_ids(candidate_nodes)
+        depths = augmented.graph.all_depths()
+
+        return cls(
+            constraints=constraints,
+            original_graph=graph,
+            augmented=augmented,
+            reach=reach,
+            dom_tree=dom_tree,
+            postdom_tree=postdom_tree,
+            successor_lists=successor_lists,
+            predecessor_lists=predecessor_lists,
+            forbidden_mask=forbidden_mask,
+            candidate_mask=candidate_mask,
+            candidate_nodes=candidate_nodes,
+            depths=depths,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of vertices of the augmented graph (original + source + sink)."""
+        return self.augmented.graph.num_nodes
+
+    @property
+    def source(self) -> int:
+        """Artificial source vertex (root for dominator queries)."""
+        return self.augmented.source
+
+    @property
+    def sink(self) -> int:
+        """Artificial sink vertex (root for postdominator queries)."""
+        return self.augmented.sink
+
+    @property
+    def max_inputs(self) -> int:
+        """``Nin`` of the active constraint set."""
+        return self.constraints.max_inputs
+
+    @property
+    def max_outputs(self) -> int:
+        """``Nout`` of the active constraint set."""
+        return self.constraints.max_outputs
+
+    def is_forbidden(self, node_id: int) -> bool:
+        """``True`` if the vertex may not belong to any cut."""
+        return bool((self.forbidden_mask >> node_id) & 1)
+
+    def is_candidate(self, node_id: int) -> bool:
+        """``True`` if the vertex may belong to a cut."""
+        return bool((self.candidate_mask >> node_id) & 1)
+
+    def ancestors_mask(self, node_id: int) -> int:
+        """Ancestor mask of *node_id* in the augmented graph."""
+        return self.reach.ancestors_mask(node_id)
+
+    def graph_name(self) -> str:
+        """Name of the underlying basic block."""
+        return self.original_graph.name

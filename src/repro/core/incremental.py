@@ -1,0 +1,450 @@
+"""The incremental enumeration algorithm (Figure 3) with the Section 5.3 prunings.
+
+``POLY-ENUM-INCR`` interleaves the choice of outputs with the Dubrova-style
+exploration of their multiple-vertex dominators, and builds the cut body ``S``
+incrementally: picking an output ``o`` adds ``B(I, o)``, picking an input
+``w`` adds ``B({w}, o)``.  The body is kept as the *raw* union of those
+contributions and the chosen inputs are masked out whenever the body is
+inspected — this reproduces the ``S = ∪ B(I, o) \\ I`` construction of
+Theorem 3 with the final input set, which matters when an input chosen late in
+the search lies on a path contributed earlier.  Because the body is a Python
+integer bit mask, "saving the old tail of S" (Section 5.4) is free — the
+recursion simply keeps the previous mask.
+
+The pruning techniques of Section 5.3 are individually switchable through
+:class:`~repro.core.pruning.PruningConfig`; the test-suite verifies that every
+configuration reports exactly the same set of cuts, and the ablation benchmark
+measures how much search each rule removes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..dfg.graph import DataFlowGraph
+from ..dfg.reachability import ids_from_mask, iterate_mask, popcount
+from ..dominators.generalized import reachable_mask_avoiding
+from ..dominators.multi_vertex import CompletionResult, dominator_completions
+from .constraints import Constraints
+from .context import EnumerationContext
+from .cut import Cut
+from .pruning import FULL_PRUNING, PruningConfig
+from .stats import EnumerationResult, EnumerationStats, Stopwatch
+from .validity import check_cut_mask
+
+ALGORITHM_NAME = "poly-enum-incremental"
+
+
+def enumerate_cuts(
+    graph: DataFlowGraph,
+    constraints: Optional[Constraints] = None,
+    pruning: PruningConfig = FULL_PRUNING,
+    context: Optional[EnumerationContext] = None,
+) -> EnumerationResult:
+    """Enumerate all convex cuts of *graph* with the incremental algorithm.
+
+    This is the library's primary entry point; see
+    :func:`repro.core.enumeration.enumerate_cuts_basic` for the reference
+    (non-incremental) variant.
+    """
+    enumerator = IncrementalEnumerator(graph, constraints, pruning, context)
+    return enumerator.run()
+
+
+class IncrementalEnumerator:
+    """Stateful implementation of ``POLY-ENUM-INCR`` (Figure 3)."""
+
+    def __init__(
+        self,
+        graph: DataFlowGraph,
+        constraints: Optional[Constraints] = None,
+        pruning: PruningConfig = FULL_PRUNING,
+        context: Optional[EnumerationContext] = None,
+    ) -> None:
+        self.graph = graph
+        self.ctx = context or EnumerationContext.build(graph, constraints)
+        self.pruning = pruning
+        self.stats = EnumerationStats()
+        self._found: Dict[int, Cut] = {}
+        # Memoisation: the same (input set, output) dominator query and the
+        # same (inputs, outputs, body) search state are reached through many
+        # different orderings of the same choices; both caches collapse those
+        # orderings without changing the set of reachable states.
+        self._completion_cache: Dict[Tuple[int, int], object] = {}
+        self._reachable_cache: Dict[int, int] = {}
+        self._visited_states: set = set()
+        # Candidate outputs in topological order: picking outputs
+        # ancestors-first guarantees every output set can be selected without
+        # tripping the output-output pruning.
+        topo_positions = {
+            v: i for i, v in enumerate(self.ctx.augmented.graph.topological_order())
+        }
+        self._output_candidates: List[int] = sorted(
+            self.ctx.candidate_nodes, key=lambda v: topo_positions[v]
+        )
+        self._forbidden_succ_mask = self._nodes_with_forbidden_successor()
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> EnumerationResult:
+        """Execute the search and return the enumeration result."""
+        with Stopwatch(self.stats):
+            self._pick_output(
+                inputs_mask=0,
+                outputs_mask=0,
+                body_mask=0,
+                chosen=(),
+                nin_left=self.ctx.max_inputs,
+                nout_left=self.ctx.max_outputs,
+            )
+        self.stats.cuts_found = len(self._found)
+        return EnumerationResult(
+            cuts=list(self._found.values()),
+            stats=self.stats,
+            graph_name=self.graph.name,
+            algorithm=ALGORITHM_NAME,
+        )
+
+    # ------------------------------------------------------------------ #
+    # PICK-OUTPUT
+    # ------------------------------------------------------------------ #
+    def _pick_output(
+        self,
+        inputs_mask: int,
+        outputs_mask: int,
+        body_mask: int,
+        chosen: Tuple[int, ...],
+        nin_left: int,
+        nout_left: int,
+    ) -> None:
+        self.stats.pick_output_calls += 1
+        ctx = self.ctx
+        reach = ctx.reach
+        postdom = ctx.postdom_tree
+
+        has_internal_outputs = False
+        if chosen and (self.pruning.connected_recovery or ctx.constraints.connected_only):
+            effective = body_mask & ~inputs_mask & ~ctx.forbidden_mask
+            current_outputs = reach.cut_outputs_mask(effective)
+            has_internal_outputs = popcount(current_outputs) > len(chosen)
+
+        for output in self._output_candidates:
+            if (outputs_mask >> output) & 1:
+                continue
+            if self._inadmissible_output(postdom, chosen, output):
+                continue
+            if self.pruning.output_output and self._ancestor_of_chosen(output, chosen):
+                self.stats.count_pruned("output_output")
+                continue
+            if chosen and self._requires_connected(has_internal_outputs):
+                if inputs_mask == 0 or not reach.reached_by_any(output, inputs_mask):
+                    self.stats.count_pruned("connectedness")
+                    continue
+
+            new_outputs_mask = outputs_mask | (1 << output)
+            if inputs_mask:
+                new_body_mask = body_mask | reach.between_mask(inputs_mask, output)
+            else:
+                new_body_mask = body_mask
+
+            if inputs_mask and self._dominates(inputs_mask, output):
+                self._check_cut(
+                    inputs_mask,
+                    new_outputs_mask,
+                    new_body_mask,
+                    chosen + (output,),
+                    nin_left,
+                    nout_left - 1,
+                )
+            elif nin_left > 0:
+                self._pick_inputs(
+                    inputs_mask,
+                    output,
+                    new_outputs_mask,
+                    new_body_mask,
+                    chosen + (output,),
+                    nin_left,
+                    nout_left - 1,
+                )
+
+    def _requires_connected(self, has_internal_outputs: bool) -> bool:
+        if self.ctx.constraints.connected_only:
+            return True
+        return self.pruning.connected_recovery and has_internal_outputs
+
+    def _inadmissible_output(self, postdom, chosen: Tuple[int, ...], output: int) -> bool:
+        """Section 5.1: chosen outputs may not postdominate one another."""
+        for previous in chosen:
+            if postdom.dominates(previous, output) or postdom.dominates(output, previous):
+                return True
+        return False
+
+    def _ancestor_of_chosen(self, output: int, chosen: Tuple[int, ...]) -> bool:
+        """Output-output pruning: skip vertices that are ancestors of a chosen output."""
+        reach = self.ctx.reach
+        for previous in chosen:
+            if reach.has_path(output, previous):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # PICK-INPUTS
+    # ------------------------------------------------------------------ #
+    def _pick_inputs(
+        self,
+        inputs_mask: int,
+        output: int,
+        outputs_mask: int,
+        body_mask: int,
+        chosen: Tuple[int, ...],
+        nin_left: int,
+        nout_left: int,
+    ) -> None:
+        self.stats.pick_input_calls += 1
+        ctx = self.ctx
+        reach = ctx.reach
+
+        state = (inputs_mask, outputs_mask, body_mask, output)
+        if state in self._visited_states:
+            return
+        self._visited_states.add(state)
+
+        step = self._completions(inputs_mask, output)
+
+        if step.already_dominated:
+            self._check_cut(
+                inputs_mask, outputs_mask, body_mask, chosen, nin_left, nout_left
+            )
+            return
+
+        for completion in step.completions:
+            if completion == ctx.source or (inputs_mask >> completion) & 1:
+                continue
+            if self.pruning.output_input and self._output_input_prune(
+                completion, output, inputs_mask
+            ):
+                continue
+            if self.pruning.input_input and self._input_input_prune(
+                inputs_mask, completion
+            ):
+                continue
+            new_inputs_mask = inputs_mask | (1 << completion)
+            new_body_mask = body_mask | reach.between_mask(1 << completion, output)
+            if self.pruning.prune_while_building and self._prune_body(
+                new_body_mask, new_inputs_mask
+            ):
+                continue
+            self._check_cut(
+                new_inputs_mask,
+                outputs_mask,
+                new_body_mask,
+                chosen,
+                nin_left - 1,
+                nout_left,
+            )
+
+        if nin_left > 1:
+            # Extend the seed set with another ancestor of the output.
+            for seed in self._seed_candidates(output, inputs_mask):
+                if self.pruning.output_input and self._output_input_prune(
+                    seed, output, inputs_mask
+                ):
+                    continue
+                if self.pruning.input_input and self._input_input_prune(
+                    inputs_mask, seed
+                ):
+                    continue
+                new_inputs_mask = inputs_mask | (1 << seed)
+                new_body_mask = body_mask | reach.between_mask(1 << seed, output)
+                if self.pruning.prune_while_building and self._prune_body(
+                    new_body_mask, new_inputs_mask
+                ):
+                    continue
+                self._pick_inputs(
+                    new_inputs_mask,
+                    output,
+                    outputs_mask,
+                    new_body_mask,
+                    chosen,
+                    nin_left - 1,
+                    nout_left,
+                )
+
+    def _seed_candidates(self, output: int, inputs_mask: int) -> List[int]:
+        """Ancestors of *output* usable as additional seed-set members."""
+        ctx = self.ctx
+        ancestors = ctx.ancestors_mask(output)
+        ancestors &= ~(1 << ctx.source)
+        ancestors &= ~inputs_mask
+        return ids_from_mask(ancestors)
+
+    # ------------------------------------------------------------------ #
+    # Pruning predicates (Section 5.3)
+    # ------------------------------------------------------------------ #
+    def _nodes_with_forbidden_successor(self) -> int:
+        """Mask of vertices that have at least one forbidden successor.
+
+        Such vertices are necessarily outputs of any cut containing them,
+        because a forbidden successor can never be absorbed into the cut.
+        """
+        ctx = self.ctx
+        mask = 0
+        for vertex in ctx.candidate_nodes:
+            if ctx.reach.successors_mask(vertex) & ctx.forbidden_mask:
+                mask |= 1 << vertex
+        return mask
+
+    def _prune_body(self, body_mask: int, inputs_mask: int) -> bool:
+        """Prune-while-building-S (Section 5.3).
+
+        The body is inspected after masking out both the chosen inputs and the
+        forbidden vertices it contains — forbidden vertices sitting on a path
+        between a chosen input and an output are not really part of the cut
+        under construction, they are inputs that have not been chosen
+        explicitly yet (the paper's footnote 2: forbidden nodes may still be
+        chosen as inputs).  What remains is a lower bound on the final cut,
+        and vertices of it that feed a forbidden consumer can never stop being
+        outputs, so more than ``Nout`` of them dooms the whole branch.
+        """
+        effective = body_mask & ~inputs_mask & ~self.ctx.forbidden_mask
+        unavoidable_outputs = popcount(effective & self._forbidden_succ_mask)
+        if unavoidable_outputs > self.ctx.max_outputs:
+            self.stats.count_pruned("too_many_unavoidable_outputs")
+            return True
+        return False
+
+    def _output_input_prune(self, candidate: int, output: int, inputs_mask: int) -> bool:
+        """Output-input pruning: doomed (input, output) pairs.
+
+        A forbidden vertex lying on a path from the candidate input to the
+        output ends up inside the constructed body unless it is itself chosen
+        as an input — so forbidden vertices already promoted to inputs are
+        ignored by the test.
+
+        The paper additionally proposes a static bound based on counting the
+        forbidden predecessors of the vertices between the candidate and the
+        output ("if these nodes are Nin or more, v will not be a valid input
+        for w").  During this reproduction that bound turned out to exclude a
+        small number of valid cuts — the ones in which the vertex with the
+        forbidden predecessor is itself promoted to a cut input, so that the
+        forbidden predecessor never becomes one — and it is therefore not
+        applied; see EXPERIMENTS.md.
+        """
+        ctx = self.ctx
+        reach = ctx.reach
+        interior = (
+            reach.descendants_mask(candidate)
+            & reach.ancestors_mask(output)
+            & ctx.forbidden_mask
+            & ~inputs_mask
+        )
+        if interior:
+            self.stats.count_pruned("output_input_forbidden_path")
+            return True
+        return False
+
+    def _input_input_prune(self, inputs_mask: int, candidate: int) -> bool:
+        """Input-input pruning: postdominance between seed-set members."""
+        postdom = self.ctx.postdom_tree
+        for existing in iterate_mask(inputs_mask):
+            if postdom.dominates(candidate, existing) or postdom.dominates(
+                existing, candidate
+            ):
+                self.stats.count_pruned("input_input_postdom")
+                return True
+        return False
+
+    def _reachable_avoiding(self, inputs_mask: int) -> int:
+        """Vertices reachable from the root once the current inputs are removed.
+
+        Two different input sets that leave the same reachable region induce
+        the same reduced graph, so this mask doubles as the key of the
+        Lengauer–Tarjan memoisation.
+        """
+        cached = self._reachable_cache.get(inputs_mask)
+        if cached is not None:
+            return cached
+        reachable = reachable_mask_avoiding(
+            self.ctx.num_nodes,
+            self.ctx.successor_lists,
+            self.ctx.source,
+            inputs_mask,
+        )
+        self._reachable_cache[inputs_mask] = reachable
+        return reachable
+
+    def _completions(self, inputs_mask: int, output: int):
+        """Memoised Dubrova reduction step for (current inputs, output)."""
+        reachable = self._reachable_avoiding(inputs_mask)
+        if not ((reachable >> output) & 1):
+            return CompletionResult(already_dominated=True, completions=[], lt_calls=0)
+        key = (reachable, output)
+        cached = self._completion_cache.get(key)
+        if cached is not None:
+            return cached
+        step = dominator_completions(
+            self.ctx.num_nodes,
+            self.ctx.successor_lists,
+            self.ctx.source,
+            output,
+            seed_mask=inputs_mask,
+        )
+        self.stats.lt_calls += step.lt_calls
+        self._completion_cache[key] = step
+        return step
+
+    def _dominates(self, inputs_mask: int, output: int) -> bool:
+        """Condition 1 of Definition 5 for the current input set and *output*."""
+        if not inputs_mask:
+            return False
+        reachable = self._reachable_avoiding(inputs_mask)
+        return not ((reachable >> output) & 1)
+
+    # ------------------------------------------------------------------ #
+    # CHECK-CUT
+    # ------------------------------------------------------------------ #
+    def _check_cut(
+        self,
+        inputs_mask: int,
+        outputs_mask: int,
+        body_mask: int,
+        chosen: Tuple[int, ...],
+        nin_left: int,
+        nout_left: int,
+    ) -> None:
+        state = (inputs_mask, outputs_mask, body_mask)
+        if state in self._visited_states:
+            self.stats.duplicates += 1
+            return
+        self._visited_states.add(state)
+        self.stats.candidates_checked += 1
+        self._maybe_record(inputs_mask, outputs_mask, body_mask)
+        if nout_left > 0:
+            self._pick_output(
+                inputs_mask, outputs_mask, body_mask, chosen, nin_left, nout_left
+            )
+
+    def _maybe_record(self, inputs_mask: int, outputs_mask: int, body_mask: int) -> None:
+        ctx = self.ctx
+        # The recorded cut is the constructed body minus the chosen inputs and
+        # minus any forbidden vertex the construction dragged in: a forbidden
+        # vertex between an input and an output cannot be part of the cut, so
+        # it is one of the cut's (implicitly chosen) inputs instead.
+        effective = body_mask & ~inputs_mask & ~ctx.forbidden_mask
+        if effective == 0:
+            return
+        actual_outputs = ctx.reach.cut_outputs_mask(effective)
+        if self.pruning.output_output:
+            # Relaxed acceptance: internal outputs are allowed as long as the
+            # total stays within the budget.
+            if popcount(actual_outputs) > ctx.max_outputs:
+                return
+        else:
+            if actual_outputs != outputs_mask:
+                return
+        if effective in self._found:
+            self.stats.duplicates += 1
+            return
+        report = check_cut_mask(ctx, effective)
+        if not report.valid:
+            return
+        self._found[effective] = Cut.from_mask(ctx, effective)

@@ -1,0 +1,88 @@
+"""Configuration of the pruning techniques of Section 5.3.
+
+Every pruning rule can be toggled individually so that the ablation benchmark
+(``benchmarks/bench_pruning_ablation.py``) can measure how much each one
+contributes, and so the test suite can verify that none of them changes the
+set of enumerated cuts (they only reduce the explored search space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Which pruning techniques the incremental enumerator applies.
+
+    Attributes
+    ----------
+    output_output:
+        Output–output pruning: accept cuts whose *internal* outputs (outputs
+        that were not explicitly chosen) keep the total within ``Nout``, and
+        do not explicitly pick a vertex that is an ancestor of an already
+        selected output.
+    prune_while_building:
+        Reject a branch as soon as the incrementally built ``S`` contains a
+        forbidden vertex, and reject cuts with excess internal outputs once
+        the output budget is exhausted.
+    output_input:
+        Skip input candidates whose every pairing with the chosen output is
+        doomed: candidates with a forbidden vertex on some path to the output,
+        and candidates that force at least ``Nin`` additional forbidden
+        inputs.
+    input_input:
+        Skip seed sets in which a newly added input postdominates an input
+        that is already part of the seed (or vice versa).
+    connected_recovery:
+        When a partially built cut temporarily exceeds the output budget,
+        keep searching but only accept additional outputs that are reachable
+        from an already selected input (Section 5.3, "Connectedness").
+    dominator_input:
+        Placeholder for the paper's dominator–input pruning.  The paper only
+        sketches a "simplified version" of this rule; reproducing it exactly
+        is not possible from the text, and enabling the flag currently has no
+        effect.  It is kept so that ablation reports show the rule explicitly.
+    """
+
+    output_output: bool = True
+    prune_while_building: bool = True
+    output_input: bool = True
+    input_input: bool = True
+    connected_recovery: bool = True
+    dominator_input: bool = False
+
+    def disable(self, name: str) -> "PruningConfig":
+        """Return a copy with the pruning *name* switched off."""
+        if not hasattr(self, name):
+            raise AttributeError(f"unknown pruning flag {name!r}")
+        return replace(self, **{name: False})
+
+    def enabled_names(self) -> list:
+        """Names of the pruning rules that are switched on."""
+        return [
+            name
+            for name in (
+                "output_output",
+                "prune_while_building",
+                "output_input",
+                "input_input",
+                "connected_recovery",
+                "dominator_input",
+            )
+            if getattr(self, name)
+        ]
+
+
+#: All prunings on — the configuration the paper benchmarks.
+FULL_PRUNING = PruningConfig()
+
+#: Every pruning off — the plain incremental algorithm of Figure 3.
+NO_PRUNING = PruningConfig(
+    output_output=False,
+    prune_while_building=False,
+    output_input=False,
+    input_input=False,
+    connected_recovery=False,
+    dominator_input=False,
+)

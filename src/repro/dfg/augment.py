@@ -1,0 +1,116 @@
+"""Augmentation of a data-flow graph into a rooted graph.
+
+Section 3 of the paper transforms the DFG ``G`` into a rooted graph by adding
+
+* a single artificial **source** vertex that is a predecessor of every vertex
+  in ``Iext`` (and, without loss of generality, of every user-forbidden vertex
+  that has no predecessor), so that dominators are well defined, and
+* a single artificial **sink** vertex that is a successor of every vertex in
+  ``Oext``, so that the reverse graph is rooted as well and postdominators are
+  well defined.  Connecting ``Oext`` to the sink also guarantees that a
+  live-out vertex inside a cut is always one of the cut's outputs.
+
+Both artificial vertices are forbidden.  The :class:`AugmentedDFG` wrapper
+keeps the original vertex ids unchanged and exposes the source/sink ids, so
+all enumeration code can work on a single graph object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from .graph import DataFlowGraph
+from .opcodes import Opcode
+
+
+@dataclass
+class AugmentedDFG:
+    """A DFG augmented with an artificial source and sink.
+
+    Attributes
+    ----------
+    graph:
+        The augmented graph.  Vertices ``0 .. n-1`` are the original vertices
+        (same ids as in the input graph); the last two vertices are the
+        artificial source and sink.
+    source:
+        Vertex id of the artificial source (root of the graph).
+    sink:
+        Vertex id of the artificial sink (root of the reverse graph).
+    original_num_nodes:
+        Number of vertices of the original, un-augmented graph.
+    forbidden:
+        The complete forbidden set ``F``: user-forbidden vertices, external
+        inputs, and the two artificial vertices.
+    """
+
+    graph: DataFlowGraph
+    source: int
+    sink: int
+    original_num_nodes: int
+    forbidden: Set[int] = field(default_factory=set)
+
+    def original_node_ids(self) -> range:
+        """Ids of the vertices of the original graph."""
+        return range(self.original_num_nodes)
+
+    def is_artificial(self, node_id: int) -> bool:
+        """``True`` if *node_id* is the artificial source or sink."""
+        return node_id in (self.source, self.sink)
+
+    def candidate_nodes(self) -> List[int]:
+        """Vertices that may belong to a cut."""
+        return [
+            v
+            for v in self.original_node_ids()
+            if v not in self.forbidden
+        ]
+
+
+def augment(graph: DataFlowGraph) -> AugmentedDFG:
+    """Return the rooted augmentation of *graph*.
+
+    The original graph is not modified; the augmented graph contains a copy of
+    every original vertex (with identical ids) plus the artificial source and
+    sink described in the module docstring.
+    """
+    augmented = graph.copy(name=f"{graph.name}_rooted")
+    original_n = augmented.num_nodes
+
+    source = augmented.add_node(Opcode.SOURCE, name="__source__")
+    sink = augmented.add_node(Opcode.SINK, name="__sink__")
+
+    forbidden: Set[int] = set(graph.forbidden_nodes())
+    forbidden.add(source)
+    forbidden.add(sink)
+
+    # The source feeds every external input, and -- as the paper notes at the
+    # end of Section 3 -- every forbidden vertex without a predecessor, so
+    # that the graph has a single root.
+    for v in range(original_n):
+        node = augmented.node(v)
+        if not augmented.predecessors(v):
+            augmented.add_edge(source, v)
+        elif node.forbidden and v not in (source, sink):
+            # Forbidden vertices partition the search space; giving them a
+            # direct edge from the source keeps dominator queries faithful to
+            # the paper's model ("all the nodes v in F can be connected to the
+            # same artificial source as the external inputs").
+            augmented.add_edge(source, v)
+
+    # The sink consumes every live-out value and every vertex without
+    # successors, so the reverse graph is rooted at the sink.
+    for v in range(original_n):
+        node = augmented.node(v)
+        if not augmented.successors(v) or node.live_out:
+            augmented.add_edge(v, sink)
+
+    augmented.topological_order()  # sanity: still a DAG
+    return AugmentedDFG(
+        graph=augmented,
+        source=source,
+        sink=sink,
+        original_num_nodes=original_n,
+        forbidden=forbidden,
+    )

@@ -1,0 +1,157 @@
+"""Convenience builder for constructing data-flow graphs.
+
+Writing DFGs by hand with :meth:`DataFlowGraph.add_node` / ``add_edge`` is
+verbose.  :class:`DFGBuilder` offers an expression-like interface used heavily
+by the hand-written kernel workloads (:mod:`repro.workloads.kernels`) and by
+the tests::
+
+    b = DFGBuilder("saturating_add")
+    x, y = b.inputs("x", "y")
+    s = b.op(Opcode.ADD, x, y)
+    hi = b.const("hi")
+    out = b.op(Opcode.MIN, s, hi, live_out=True)
+    graph = b.build()
+
+Every helper returns the integer vertex id, so results can be combined freely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .graph import DataFlowGraph
+from .opcodes import Opcode
+
+
+class DFGBuilder:
+    """Incremental builder of :class:`~repro.dfg.graph.DataFlowGraph` objects."""
+
+    def __init__(self, name: str = "dfg") -> None:
+        self._graph = DataFlowGraph(name=name)
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    # Vertex creation helpers
+    # ------------------------------------------------------------------ #
+    def input(self, name: Optional[str] = None) -> int:
+        """Add an external input vertex (member of ``Iext``)."""
+        return self._graph.add_node(Opcode.INPUT, name=name)
+
+    def inputs(self, *names: str) -> Tuple[int, ...]:
+        """Add several external inputs at once and return their ids."""
+        return tuple(self.input(name) for name in names)
+
+    def const(self, name: Optional[str] = None) -> int:
+        """Add a constant vertex (external, forbidden, usually named)."""
+        return self._graph.add_node(Opcode.CONSTANT, name=name)
+
+    def op(
+        self,
+        opcode: Opcode,
+        *operands: int,
+        name: Optional[str] = None,
+        forbidden: Optional[bool] = None,
+        live_out: bool = False,
+    ) -> int:
+        """Add an operation vertex fed by *operands* and return its id."""
+        node_id = self._graph.add_node(
+            opcode, name=name, forbidden=forbidden, live_out=live_out
+        )
+        for operand in operands:
+            self._graph.add_edge(operand, node_id)
+        return node_id
+
+    def load(self, address: int, name: Optional[str] = None, live_out: bool = False) -> int:
+        """Add a (forbidden-by-default) load fed by *address*."""
+        return self.op(Opcode.LOAD, address, name=name, live_out=live_out)
+
+    def store(self, address: int, value: int, name: Optional[str] = None) -> int:
+        """Add a (forbidden-by-default) store of *value* to *address*."""
+        return self.op(Opcode.STORE, address, value, name=name)
+
+    # Arithmetic shorthands -------------------------------------------------
+    def add(self, a: int, b: int, **kwargs: object) -> int:
+        """Shorthand for an ``ADD`` operation."""
+        return self.op(Opcode.ADD, a, b, **kwargs)
+
+    def sub(self, a: int, b: int, **kwargs: object) -> int:
+        """Shorthand for a ``SUB`` operation."""
+        return self.op(Opcode.SUB, a, b, **kwargs)
+
+    def mul(self, a: int, b: int, **kwargs: object) -> int:
+        """Shorthand for a ``MUL`` operation."""
+        return self.op(Opcode.MUL, a, b, **kwargs)
+
+    def xor(self, a: int, b: int, **kwargs: object) -> int:
+        """Shorthand for a ``XOR`` operation."""
+        return self.op(Opcode.XOR, a, b, **kwargs)
+
+    def and_(self, a: int, b: int, **kwargs: object) -> int:
+        """Shorthand for an ``AND`` operation."""
+        return self.op(Opcode.AND, a, b, **kwargs)
+
+    def or_(self, a: int, b: int, **kwargs: object) -> int:
+        """Shorthand for an ``OR`` operation."""
+        return self.op(Opcode.OR, a, b, **kwargs)
+
+    def shl(self, a: int, b: int, **kwargs: object) -> int:
+        """Shorthand for a left shift."""
+        return self.op(Opcode.SHL, a, b, **kwargs)
+
+    def shr(self, a: int, b: int, **kwargs: object) -> int:
+        """Shorthand for a logical right shift."""
+        return self.op(Opcode.SHR, a, b, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+    def mark_live_out(self, *node_ids: int) -> None:
+        """Flag vertices as live outside the basic block."""
+        for node_id in node_ids:
+            self._graph.set_live_out(node_id, True)
+
+    def mark_forbidden(self, *node_ids: int) -> None:
+        """Flag vertices as forbidden (may not belong to any cut)."""
+        for node_id in node_ids:
+            self._graph.set_forbidden(node_id, True)
+
+    @property
+    def graph(self) -> DataFlowGraph:
+        """The graph under construction (shared reference)."""
+        return self._graph
+
+    def build(self) -> DataFlowGraph:
+        """Return the constructed graph after a structural sanity check."""
+        self._graph.topological_order()  # raises on cycles
+        self._built = True
+        return self._graph
+
+
+def linear_chain(length: int, opcode: Opcode = Opcode.ADD, name: str = "chain") -> DataFlowGraph:
+    """Build a simple chain ``input -> op -> op -> ... -> op`` of *length* operations.
+
+    Useful in tests: a chain of length ``k`` has exactly ``k * (k + 1) / 2``
+    connected convex cuts when I/O constraints allow them all.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    builder = DFGBuilder(name)
+    prev = builder.input("in")
+    second = builder.input("in2")
+    for index in range(length):
+        prev = builder.op(opcode, prev, second if index == 0 else prev, name=f"n{index}")
+    builder.mark_live_out(prev)
+    return builder.build()
+
+
+def diamond(name: str = "diamond") -> DataFlowGraph:
+    """Build the canonical 4-operation diamond used throughout the tests."""
+    builder = DFGBuilder(name)
+    a = builder.input("a")
+    b = builder.input("b")
+    top = builder.add(a, b, name="top")
+    left = builder.shl(top, builder.const("c1"), name="left")
+    right = builder.xor(top, b, name="right")
+    bottom = builder.sub(left, right, name="bottom", live_out=True)
+    builder.mark_live_out(bottom)
+    return builder.build()

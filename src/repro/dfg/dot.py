@@ -1,0 +1,105 @@
+"""Graphviz DOT export/import for data-flow graphs.
+
+The exporter is self-contained (no graphviz dependency); the importer handles
+the subset of DOT that the exporter produces, which is enough to round-trip
+graphs and to load hand-edited examples.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Optional
+
+from .graph import DataFlowGraph
+from .opcodes import Opcode
+
+_NODE_RE = re.compile(r'^\s*(\w+)\s*\[(.*)\]\s*;?\s*$')
+_EDGE_RE = re.compile(r'^\s*(\w+)\s*->\s*(\w+)\s*(?:\[.*\])?\s*;?\s*$')
+_ATTR_RE = re.compile(r'(\w+)\s*=\s*"([^"]*)"')
+
+_SHAPES = {
+    "input": "invtriangle",
+    "const": "invtriangle",
+    "load": "box",
+    "store": "box",
+    "source": "point",
+    "sink": "point",
+}
+
+
+def to_dot(
+    graph: DataFlowGraph,
+    highlight: Optional[Iterable[int]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render *graph* as a Graphviz DOT string.
+
+    Parameters
+    ----------
+    graph:
+        The data-flow graph to render.
+    highlight:
+        Optional set of vertex ids to shade (used to visualise a cut).
+    title:
+        Graph label; defaults to the graph name.
+    """
+    highlight_set = set(highlight or ())
+    lines = [f'digraph "{title or graph.name}" {{']
+    lines.append("  rankdir=TB;")
+    lines.append('  node [fontname="Helvetica"];')
+    for node in graph.nodes():
+        attrs = {
+            "label": node.label,
+            "opcode": node.opcode.value,
+        }
+        shape = _SHAPES.get(node.opcode.value, "ellipse")
+        attrs["shape"] = shape
+        if node.forbidden:
+            attrs["style"] = "dashed"
+        if node.node_id in highlight_set:
+            attrs["style"] = "filled"
+            attrs["fillcolor"] = "lightblue"
+        if node.live_out:
+            attrs["peripheries"] = "2"
+        if node.forbidden:
+            attrs["forbidden"] = "true"
+        if node.live_out:
+            attrs["live_out"] = "true"
+        rendered = ", ".join(f'{key}="{value}"' for key, value in attrs.items())
+        lines.append(f"  n{node.node_id} [{rendered}];")
+    for src, dst in sorted(graph.edges()):
+        lines.append(f"  n{src} -> n{dst};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def from_dot(text: str, name: str = "dfg") -> DataFlowGraph:
+    """Parse a DOT string produced by :func:`to_dot` back into a DFG."""
+    graph = DataFlowGraph(name=name)
+    id_map: Dict[str, int] = {}
+    pending_edges = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith(("digraph", "}", "//", "rankdir", "node [")):
+            continue
+        edge_match = _EDGE_RE.match(line)
+        if edge_match:
+            pending_edges.append((edge_match.group(1), edge_match.group(2)))
+            continue
+        node_match = _NODE_RE.match(line)
+        if node_match:
+            dot_id, attr_text = node_match.group(1), node_match.group(2)
+            attrs = dict(_ATTR_RE.findall(attr_text))
+            opcode_value = attrs.get("opcode", "add")
+            opcode = Opcode(opcode_value)
+            node_id = graph.add_node(
+                opcode,
+                name=attrs.get("label"),
+                forbidden=True if attrs.get("forbidden") == "true" else None,
+                live_out=attrs.get("live_out") == "true",
+            )
+            id_map[dot_id] = node_id
+    for src, dst in pending_edges:
+        if src in id_map and dst in id_map:
+            graph.add_edge(id_map[src], id_map[dst])
+    return graph

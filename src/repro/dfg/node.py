@@ -1,0 +1,115 @@
+"""DFG vertex model.
+
+A :class:`DFGNode` is a lightweight record describing one vertex of a
+basic-block data-flow graph: its integer identifier inside the graph, its
+opcode, an optional human-readable name, and whether the user marked it as
+forbidden over and above the opcode-based default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .opcodes import (
+    Opcode,
+    hardware_latency,
+    is_artificial,
+    is_external,
+    is_forbidden_by_default,
+    software_latency,
+)
+
+
+@dataclass
+class DFGNode:
+    """One vertex of a data-flow graph.
+
+    Attributes
+    ----------
+    node_id:
+        Integer identifier, unique within the owning :class:`~repro.dfg.graph.DataFlowGraph`.
+    opcode:
+        Operation performed by this vertex.
+    name:
+        Optional human-readable label (e.g. the destination register or the
+        source-level variable).  Purely informational.
+    forbidden:
+        ``True`` if the vertex may not be part of any cut.  The flag combines
+        the opcode default with any user override; it is finalised by
+        :meth:`repro.dfg.graph.DataFlowGraph.add_node`.
+    live_out:
+        ``True`` if the value produced by this vertex is consumed outside the
+        basic block, i.e. the vertex belongs to the paper's ``Oext`` set even
+        if it has successors inside the block.
+    """
+
+    node_id: int
+    opcode: Opcode
+    name: Optional[str] = None
+    forbidden: bool = False
+    live_out: bool = False
+    attributes: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be non-negative, got {self.node_id}")
+        if not isinstance(self.opcode, Opcode):
+            raise TypeError(f"opcode must be an Opcode, got {type(self.opcode)!r}")
+
+    @property
+    def label(self) -> str:
+        """Display label: the explicit name if any, else ``<opcode><id>``."""
+        if self.name:
+            return self.name
+        return f"{self.opcode.value}{self.node_id}"
+
+    @property
+    def is_external(self) -> bool:
+        """``True`` for external-input vertices (``Iext``)."""
+        return is_external(self.opcode)
+
+    @property
+    def is_artificial(self) -> bool:
+        """``True`` for the artificial source/sink."""
+        return is_artificial(self.opcode)
+
+    @property
+    def is_operation(self) -> bool:
+        """``True`` if the vertex performs an actual computation."""
+        return not self.is_external and not self.is_artificial
+
+    @property
+    def default_forbidden(self) -> bool:
+        """Whether this vertex is forbidden by opcode alone."""
+        return is_forbidden_by_default(self.opcode)
+
+    @property
+    def sw_latency(self) -> float:
+        """Software latency of the operation, in baseline-processor cycles."""
+        return software_latency(self.opcode)
+
+    @property
+    def hw_latency(self) -> float:
+        """Hardware latency of the operator, in fractions of a cycle."""
+        return hardware_latency(self.opcode)
+
+    def copy(self) -> "DFGNode":
+        """Return an independent copy of this node."""
+        return DFGNode(
+            node_id=self.node_id,
+            opcode=self.opcode,
+            name=self.name,
+            forbidden=self.forbidden,
+            live_out=self.live_out,
+            attributes=dict(self.attributes),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.forbidden:
+            flags.append("forbidden")
+        if self.live_out:
+            flags.append("live_out")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"DFGNode({self.node_id}, {self.opcode.value}{suffix})"

@@ -1,0 +1,249 @@
+"""Operation codes used in basic-block data-flow graphs.
+
+The paper operates on data-flow graphs extracted from compiled embedded
+applications (MiBench).  Each DFG vertex is either
+
+* an *external input* (``Opcode.INPUT``): a value produced outside the basic
+  block (register live-in, constant pool entry, ...).  Such vertices form the
+  ``Iext`` set of the paper and are always forbidden (they cannot belong to a
+  cut, but they can be inputs to a cut);
+* an *operation*: an arithmetic/logic/memory operation.  Memory operations are
+  the canonical user-specified forbidden nodes (a custom functional unit
+  without a memory port cannot execute them);
+* one of the two artificial vertices (``SOURCE``/``SINK``) added when the graph
+  is augmented to be rooted (see :mod:`repro.dfg.augment`).
+
+Besides the classification needed by the enumeration algorithm itself
+(forbidden or not), every opcode carries a software latency (cycles on the
+baseline single-issue processor) and a hardware latency (normalised delay of
+the operator when implemented inside a custom functional unit).  Those numbers
+feed the ISE merit function of :mod:`repro.ise` and follow the per-operation
+cost model popularised by Atasu et al. [4]: cheap bitwise operations are almost
+free in hardware, adders cost a fraction of a cycle, multipliers and memory
+operations are expensive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+
+class OpcodeClass(enum.Enum):
+    """Coarse classification of operations, used by workload generators."""
+
+    EXTERNAL = "external"
+    ARITHMETIC = "arithmetic"
+    LOGIC = "logic"
+    SHIFT = "shift"
+    COMPARE = "compare"
+    MULTIPLY = "multiply"
+    DIVIDE = "divide"
+    MEMORY = "memory"
+    CONTROL = "control"
+    ARTIFICIAL = "artificial"
+
+
+class Opcode(enum.Enum):
+    """Operation codes for DFG vertices."""
+
+    # External / artificial vertices
+    INPUT = "input"
+    CONSTANT = "const"
+    SOURCE = "source"
+    SINK = "sink"
+
+    # Integer arithmetic
+    ADD = "add"
+    SUB = "sub"
+    NEG = "neg"
+    ABS = "abs"
+
+    # Multiplication / division
+    MUL = "mul"
+    MULH = "mulh"
+    DIV = "div"
+    REM = "rem"
+    MAC = "mac"
+
+    # Bitwise logic
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+
+    # Shifts / rotates / bit manipulation
+    SHL = "shl"
+    SHR = "shr"
+    SAR = "sar"
+    ROL = "rol"
+    ROR = "ror"
+    BITEXTRACT = "bitextract"
+    BITINSERT = "bitinsert"
+
+    # Comparisons / selection
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    MIN = "min"
+    MAX = "max"
+    SELECT = "select"
+
+    # Conversions
+    SEXT = "sext"
+    ZEXT = "zext"
+    TRUNC = "trunc"
+
+    # Memory operations (usually forbidden)
+    LOAD = "load"
+    STORE = "store"
+
+    # Control / calls (always forbidden)
+    BRANCH = "branch"
+    CALL = "call"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of an opcode.
+
+    Attributes
+    ----------
+    opclass:
+        Coarse classification of the operation.
+    sw_latency:
+        Latency, in cycles, of the operation on the baseline processor.
+    hw_latency:
+        Normalised delay of the operator inside a custom functional unit, in
+        fractions of the processor cycle time (an adder ~0.3, a multiplier
+        ~1.5, wiring/logic ~0.05).
+    area:
+        Relative area cost of the operator (adder = 1.0).
+    forbidden_by_default:
+        ``True`` for operations that the paper treats as forbidden unless the
+        custom functional unit explicitly supports them (memory and control
+        operations, plus external/artificial vertices).
+    """
+
+    opclass: OpcodeClass
+    sw_latency: float
+    hw_latency: float
+    area: float
+    forbidden_by_default: bool = False
+
+
+_OPCODE_TABLE: Dict[Opcode, OpcodeInfo] = {
+    Opcode.INPUT: OpcodeInfo(OpcodeClass.EXTERNAL, 0.0, 0.0, 0.0, True),
+    Opcode.CONSTANT: OpcodeInfo(OpcodeClass.EXTERNAL, 0.0, 0.0, 0.0, True),
+    Opcode.SOURCE: OpcodeInfo(OpcodeClass.ARTIFICIAL, 0.0, 0.0, 0.0, True),
+    Opcode.SINK: OpcodeInfo(OpcodeClass.ARTIFICIAL, 0.0, 0.0, 0.0, True),
+    Opcode.ADD: OpcodeInfo(OpcodeClass.ARITHMETIC, 1.0, 0.30, 1.0),
+    Opcode.SUB: OpcodeInfo(OpcodeClass.ARITHMETIC, 1.0, 0.30, 1.0),
+    Opcode.NEG: OpcodeInfo(OpcodeClass.ARITHMETIC, 1.0, 0.20, 0.5),
+    Opcode.ABS: OpcodeInfo(OpcodeClass.ARITHMETIC, 1.0, 0.35, 1.2),
+    Opcode.MUL: OpcodeInfo(OpcodeClass.MULTIPLY, 3.0, 1.50, 8.0),
+    Opcode.MULH: OpcodeInfo(OpcodeClass.MULTIPLY, 3.0, 1.50, 8.0),
+    Opcode.DIV: OpcodeInfo(OpcodeClass.DIVIDE, 20.0, 8.00, 20.0),
+    Opcode.REM: OpcodeInfo(OpcodeClass.DIVIDE, 20.0, 8.00, 20.0),
+    Opcode.MAC: OpcodeInfo(OpcodeClass.MULTIPLY, 3.0, 1.70, 9.0),
+    Opcode.AND: OpcodeInfo(OpcodeClass.LOGIC, 1.0, 0.05, 0.1),
+    Opcode.OR: OpcodeInfo(OpcodeClass.LOGIC, 1.0, 0.05, 0.1),
+    Opcode.XOR: OpcodeInfo(OpcodeClass.LOGIC, 1.0, 0.05, 0.15),
+    Opcode.NOT: OpcodeInfo(OpcodeClass.LOGIC, 1.0, 0.02, 0.05),
+    Opcode.SHL: OpcodeInfo(OpcodeClass.SHIFT, 1.0, 0.20, 0.8),
+    Opcode.SHR: OpcodeInfo(OpcodeClass.SHIFT, 1.0, 0.20, 0.8),
+    Opcode.SAR: OpcodeInfo(OpcodeClass.SHIFT, 1.0, 0.20, 0.8),
+    Opcode.ROL: OpcodeInfo(OpcodeClass.SHIFT, 1.0, 0.22, 0.9),
+    Opcode.ROR: OpcodeInfo(OpcodeClass.SHIFT, 1.0, 0.22, 0.9),
+    Opcode.BITEXTRACT: OpcodeInfo(OpcodeClass.SHIFT, 1.0, 0.10, 0.3),
+    Opcode.BITINSERT: OpcodeInfo(OpcodeClass.SHIFT, 1.0, 0.15, 0.4),
+    Opcode.EQ: OpcodeInfo(OpcodeClass.COMPARE, 1.0, 0.25, 0.6),
+    Opcode.NE: OpcodeInfo(OpcodeClass.COMPARE, 1.0, 0.25, 0.6),
+    Opcode.LT: OpcodeInfo(OpcodeClass.COMPARE, 1.0, 0.30, 0.7),
+    Opcode.LE: OpcodeInfo(OpcodeClass.COMPARE, 1.0, 0.30, 0.7),
+    Opcode.GT: OpcodeInfo(OpcodeClass.COMPARE, 1.0, 0.30, 0.7),
+    Opcode.GE: OpcodeInfo(OpcodeClass.COMPARE, 1.0, 0.30, 0.7),
+    Opcode.MIN: OpcodeInfo(OpcodeClass.COMPARE, 1.0, 0.40, 1.3),
+    Opcode.MAX: OpcodeInfo(OpcodeClass.COMPARE, 1.0, 0.40, 1.3),
+    Opcode.SELECT: OpcodeInfo(OpcodeClass.COMPARE, 1.0, 0.10, 0.3),
+    Opcode.SEXT: OpcodeInfo(OpcodeClass.LOGIC, 1.0, 0.02, 0.05),
+    Opcode.ZEXT: OpcodeInfo(OpcodeClass.LOGIC, 1.0, 0.02, 0.05),
+    Opcode.TRUNC: OpcodeInfo(OpcodeClass.LOGIC, 1.0, 0.02, 0.02),
+    Opcode.LOAD: OpcodeInfo(OpcodeClass.MEMORY, 2.0, 2.00, 0.0, True),
+    Opcode.STORE: OpcodeInfo(OpcodeClass.MEMORY, 1.0, 2.00, 0.0, True),
+    Opcode.BRANCH: OpcodeInfo(OpcodeClass.CONTROL, 1.0, 1.00, 0.0, True),
+    Opcode.CALL: OpcodeInfo(OpcodeClass.CONTROL, 2.0, 2.00, 0.0, True),
+}
+
+#: Opcodes that may never be part of a custom instruction, regardless of user
+#: configuration: they either carry no computation (external/artificial
+#: vertices) or transfer control out of the basic block.
+ALWAYS_FORBIDDEN_OPCODES: FrozenSet[Opcode] = frozenset(
+    {
+        Opcode.INPUT,
+        Opcode.CONSTANT,
+        Opcode.SOURCE,
+        Opcode.SINK,
+        Opcode.BRANCH,
+        Opcode.CALL,
+    }
+)
+
+#: Opcodes forbidden by default (memory operations) but that a user may allow
+#: if the custom functional unit has a memory port (cf. Biswas et al. [7]).
+DEFAULT_FORBIDDEN_OPCODES: FrozenSet[Opcode] = frozenset(
+    {Opcode.LOAD, Opcode.STORE}
+) | ALWAYS_FORBIDDEN_OPCODES
+
+
+def opcode_info(opcode: Opcode) -> OpcodeInfo:
+    """Return the static :class:`OpcodeInfo` for *opcode*."""
+    return _OPCODE_TABLE[opcode]
+
+
+def software_latency(opcode: Opcode) -> float:
+    """Latency of *opcode* on the baseline processor, in cycles."""
+    return _OPCODE_TABLE[opcode].sw_latency
+
+
+def hardware_latency(opcode: Opcode) -> float:
+    """Normalised delay of *opcode* inside a custom functional unit."""
+    return _OPCODE_TABLE[opcode].hw_latency
+
+
+def area_cost(opcode: Opcode) -> float:
+    """Relative area of the hardware operator implementing *opcode*."""
+    return _OPCODE_TABLE[opcode].area
+
+
+def is_memory(opcode: Opcode) -> bool:
+    """``True`` if *opcode* is a memory operation (load/store)."""
+    return _OPCODE_TABLE[opcode].opclass is OpcodeClass.MEMORY
+
+
+def is_external(opcode: Opcode) -> bool:
+    """``True`` if *opcode* denotes a value produced outside the basic block."""
+    return _OPCODE_TABLE[opcode].opclass is OpcodeClass.EXTERNAL
+
+
+def is_artificial(opcode: Opcode) -> bool:
+    """``True`` for the artificial source/sink vertices."""
+    return _OPCODE_TABLE[opcode].opclass is OpcodeClass.ARTIFICIAL
+
+
+def is_forbidden_by_default(opcode: Opcode) -> bool:
+    """``True`` if *opcode* is forbidden unless explicitly allowed."""
+    return opcode in DEFAULT_FORBIDDEN_OPCODES
+
+
+def all_operation_opcodes() -> FrozenSet[Opcode]:
+    """Every opcode that represents an actual computation inside the block."""
+    return frozenset(
+        op
+        for op, info in _OPCODE_TABLE.items()
+        if info.opclass not in (OpcodeClass.EXTERNAL, OpcodeClass.ARTIFICIAL)
+    )

@@ -1,0 +1,242 @@
+"""Reachability precomputation on data-flow graphs.
+
+Section 5.4 of the paper keeps, next to the adjacency structure, a
+precomputed "presence of paths between two nodes" relation together with
+information about forbidden vertices lying on those paths.  This module
+provides that precomputation.
+
+Sets of vertices are represented as Python integers used as bit masks (bit
+``v`` set means vertex ``v`` belongs to the set).  This representation gives
+us constant-time path queries, and — crucially for the incremental algorithm
+of Figure 3 — lets the enumerator snapshot and restore the growing cut ``S``
+for free, because integers are immutable.
+
+The central quantity of the paper, ``B(V, w)`` ("the vertices between a set
+``V`` and a vertex ``w``", Definition 6), reduces to two mask intersections::
+
+    B(V, w) = (union of descendants(v) for v in V)  &  (ancestors(w) | {w})
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .graph import DataFlowGraph
+
+
+def mask_from_ids(ids: Iterable[int]) -> int:
+    """Build a bit mask from an iterable of vertex ids."""
+    mask = 0
+    for node_id in ids:
+        mask |= 1 << node_id
+    return mask
+
+
+def ids_from_mask(mask: int) -> List[int]:
+    """Expand a bit mask into the sorted list of vertex ids it contains."""
+    result = []
+    index = 0
+    while mask:
+        if mask & 1:
+            result.append(index)
+        mask >>= 1
+        index += 1
+    return result
+
+
+def iterate_mask(mask: int):
+    """Iterate over the vertex ids contained in *mask* (ascending order)."""
+    index = 0
+    while mask:
+        if mask & 1:
+            yield index
+        mask >>= 1
+        index += 1
+
+
+def popcount(mask: int) -> int:
+    """Number of vertices in the mask."""
+    return bin(mask).count("1")
+
+
+class ReachabilityInfo:
+    """Precomputed reachability masks for a :class:`DataFlowGraph`.
+
+    Parameters
+    ----------
+    graph:
+        The (augmented or plain) data-flow graph.
+    forbidden:
+        Optional explicit forbidden set; defaults to ``graph.forbidden_nodes()``.
+    """
+
+    def __init__(self, graph: DataFlowGraph, forbidden: Optional[Iterable[int]] = None) -> None:
+        self.graph = graph
+        self.num_nodes = graph.num_nodes
+        if forbidden is None:
+            forbidden_set: Set[int] = set(graph.forbidden_nodes())
+        else:
+            forbidden_set = set(forbidden)
+        self.forbidden_mask = mask_from_ids(forbidden_set)
+
+        self._desc: List[int] = [0] * self.num_nodes
+        self._anc: List[int] = [0] * self.num_nodes
+        self._pred_mask: List[int] = [0] * self.num_nodes
+        self._succ_mask: List[int] = [0] * self.num_nodes
+        self._compute()
+        self._forbidden_between_cache: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Precomputation
+    # ------------------------------------------------------------------ #
+    def _compute(self) -> None:
+        graph = self.graph
+        order = graph.topological_order()
+        for v in graph.node_ids():
+            self._pred_mask[v] = mask_from_ids(graph.predecessors(v))
+            self._succ_mask[v] = mask_from_ids(graph.successors(v))
+        # Descendants: sweep in reverse topological order.
+        for v in reversed(order):
+            mask = 0
+            for succ in graph.successors(v):
+                mask |= (1 << succ) | self._desc[succ]
+            self._desc[v] = mask
+        # Ancestors: sweep in topological order.
+        for v in order:
+            mask = 0
+            for pred in graph.predecessors(v):
+                mask |= (1 << pred) | self._anc[pred]
+            self._anc[v] = mask
+
+    # ------------------------------------------------------------------ #
+    # Mask accessors
+    # ------------------------------------------------------------------ #
+    def descendants_mask(self, v: int) -> int:
+        """Mask of vertices reachable from *v* through at least one edge."""
+        return self._desc[v]
+
+    def ancestors_mask(self, v: int) -> int:
+        """Mask of vertices that reach *v* through at least one edge."""
+        return self._anc[v]
+
+    def predecessors_mask(self, v: int) -> int:
+        """Mask of the immediate predecessors of *v*."""
+        return self._pred_mask[v]
+
+    def successors_mask(self, v: int) -> int:
+        """Mask of the immediate successors of *v*."""
+        return self._succ_mask[v]
+
+    # ------------------------------------------------------------------ #
+    # Path queries
+    # ------------------------------------------------------------------ #
+    def has_path(self, u: int, v: int) -> bool:
+        """``True`` if there is a directed path (>= 1 edge) from *u* to *v*."""
+        return bool((self._desc[u] >> v) & 1)
+
+    def is_ancestor(self, u: int, v: int) -> bool:
+        """``True`` if *u* is a proper ancestor of *v*."""
+        return self.has_path(u, v)
+
+    def reaches_any(self, u: int, mask: int) -> bool:
+        """``True`` if *u* reaches at least one vertex of *mask*."""
+        return bool(self._desc[u] & mask)
+
+    def reached_by_any(self, v: int, mask: int) -> bool:
+        """``True`` if at least one vertex of *mask* reaches *v*."""
+        return bool(self._anc[v] & mask)
+
+    # ------------------------------------------------------------------ #
+    # B(V, w) — Definition 6 of the paper
+    # ------------------------------------------------------------------ #
+    def between_mask(self, sources_mask: int, target: int) -> int:
+        """Mask of ``B(V, w)``: vertices on some path from a vertex of *V* to *w*.
+
+        Following Definition 6, the starting vertices are not implicitly
+        included but *w* is; a starting vertex that lies on a path from
+        another starting vertex does appear in the result.
+        """
+        reach_down = 0
+        remaining = sources_mask
+        index = 0
+        while remaining:
+            if remaining & 1:
+                reach_down |= self._desc[index]
+            remaining >>= 1
+            index += 1
+        return reach_down & (self._anc[target] | (1 << target))
+
+    def between(self, sources: Iterable[int], target: int) -> Set[int]:
+        """Set version of :meth:`between_mask`."""
+        return set(ids_from_mask(self.between_mask(mask_from_ids(sources), target)))
+
+    # ------------------------------------------------------------------ #
+    # Forbidden-node path information (Section 5.3, output-input pruning)
+    # ------------------------------------------------------------------ #
+    def forbidden_on_path(self, u: int, w: int) -> bool:
+        """``True`` if some path from *u* to *w* contains a forbidden vertex.
+
+        The end points themselves are not considered: the query asks about
+        *interior* vertices, which is the relevant question when *u* is a
+        candidate input (possibly forbidden itself) and *w* a candidate
+        output.
+        """
+        interior = self._desc[u] & self._anc[w]
+        return bool(interior & self.forbidden_mask)
+
+    def forbidden_between_count(self, u: int, w: int) -> int:
+        """Lower bound on extra inputs forced by forbidden predecessors.
+
+        Counts the distinct forbidden vertices that are predecessors of some
+        vertex of ``B({u}, w)`` without lying inside ``B({u}, w)`` themselves
+        and without being *u*.  Every such vertex necessarily becomes an input
+        of any cut that contains the whole of ``B({u}, w)`` (Section 5.3).
+        """
+        key = (u, w)
+        cached = self._forbidden_between_cache.get(key)
+        if cached is not None:
+            return cached
+        between = self.between_mask(1 << u, w)
+        forced = 0
+        for v in iterate_mask(between):
+            forced |= self._pred_mask[v]
+        forced &= self.forbidden_mask
+        forced &= ~between
+        forced &= ~(1 << u)
+        count = popcount(forced)
+        self._forbidden_between_cache[key] = count
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Cut-oriented helpers
+    # ------------------------------------------------------------------ #
+    def cut_inputs_mask(self, cut_mask: int) -> int:
+        """Inputs ``I(S)`` of the cut *cut_mask*: predecessors outside the cut."""
+        inputs = 0
+        for v in iterate_mask(cut_mask):
+            inputs |= self._pred_mask[v]
+        return inputs & ~cut_mask
+
+    def cut_outputs_mask(self, cut_mask: int) -> int:
+        """Outputs ``O(S)``: cut vertices with at least one successor outside."""
+        outputs = 0
+        for v in iterate_mask(cut_mask):
+            if self._succ_mask[v] & ~cut_mask:
+                outputs |= 1 << v
+        return outputs
+
+    def is_convex_mask(self, cut_mask: int) -> bool:
+        """Check Definition 2 (convexity) for the cut given as a mask.
+
+        A cut is convex iff no vertex outside the cut lies on a path between
+        two cut vertices, i.e. iff for every outside vertex ``w`` it is not the
+        case that some cut vertex reaches ``w`` and ``w`` reaches some cut
+        vertex.
+        """
+        for v in iterate_mask(cut_mask):
+            # Successors of v outside the cut must not reach back into the cut.
+            escaped = self._succ_mask[v] & ~cut_mask
+            for w in iterate_mask(escaped):
+                if self._desc[w] & cut_mask:
+                    return False
+        return True

@@ -1,0 +1,90 @@
+"""JSON serialization for data-flow graphs.
+
+The JSON schema is intentionally simple and stable so that workload suites
+can be saved to disk and benchmark runs are reproducible::
+
+    {
+      "name": "crc32_step",
+      "nodes": [
+        {"id": 0, "opcode": "input", "name": "crc", "forbidden": true,
+         "live_out": false},
+        ...
+      ],
+      "edges": [[0, 3], [1, 3], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .graph import DataFlowGraph
+from .opcodes import Opcode
+
+
+def graph_to_dict(graph: DataFlowGraph) -> Dict[str, object]:
+    """Convert a DFG to a JSON-serialisable dictionary."""
+    nodes: List[Dict[str, object]] = []
+    for node in graph.nodes():
+        entry: Dict[str, object] = {
+            "id": node.node_id,
+            "opcode": node.opcode.value,
+            "forbidden": node.forbidden,
+            "live_out": node.live_out,
+        }
+        if node.name is not None:
+            entry["name"] = node.name
+        if node.attributes:
+            entry["attributes"] = dict(node.attributes)
+        nodes.append(entry)
+    return {
+        "name": graph.name,
+        "nodes": nodes,
+        "edges": sorted(graph.edges()),
+    }
+
+
+def graph_from_dict(data: Dict[str, object]) -> DataFlowGraph:
+    """Rebuild a DFG from the dictionary produced by :func:`graph_to_dict`."""
+    graph = DataFlowGraph(name=str(data.get("name", "dfg")))
+    nodes = sorted(data["nodes"], key=lambda entry: entry["id"])  # type: ignore[index]
+    for expected_id, entry in enumerate(nodes):
+        if entry["id"] != expected_id:
+            raise ValueError(
+                f"node ids must be dense: expected {expected_id}, got {entry['id']}"
+            )
+        node_id = graph.add_node(
+            Opcode(entry["opcode"]),
+            name=entry.get("name"),
+            forbidden=bool(entry.get("forbidden", False)) or None
+            if entry.get("forbidden") is None
+            else bool(entry.get("forbidden")),
+            live_out=bool(entry.get("live_out", False)),
+            **entry.get("attributes", {}),
+        )
+        assert node_id == expected_id
+    for src, dst in data["edges"]:  # type: ignore[union-attr]
+        graph.add_edge(int(src), int(dst))
+    return graph
+
+
+def dumps(graph: DataFlowGraph, indent: int = 2) -> str:
+    """Serialize *graph* to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def loads(text: str) -> DataFlowGraph:
+    """Deserialize a DFG from a JSON string."""
+    return graph_from_dict(json.loads(text))
+
+
+def save(graph: DataFlowGraph, path: Union[str, Path]) -> None:
+    """Write *graph* to *path* as JSON."""
+    Path(path).write_text(dumps(graph), encoding="utf-8")
+
+
+def load(path: Union[str, Path]) -> DataFlowGraph:
+    """Read a DFG from a JSON file."""
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,119 @@
+"""Structural validation of data-flow graphs.
+
+The enumeration algorithms assume a handful of structural invariants (the
+graph is a DAG, external inputs have no predecessors, stores produce no value,
+et cetera).  :func:`validate_graph` checks them all and either raises
+:class:`ValidationError` or returns a report listing benign warnings, so that
+workload generators and file loaders can be checked before benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .graph import DataFlowGraph
+from .opcodes import Opcode, is_external
+
+
+class ValidationError(ValueError):
+    """Raised when a data-flow graph violates a structural invariant."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_graph`.
+
+    Attributes
+    ----------
+    errors:
+        Fatal problems; non-empty only when ``raise_on_error=False``.
+    warnings:
+        Suspicious-but-legal structures (e.g. an operation with no operands).
+    """
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if no fatal error was found."""
+        return not self.errors
+
+
+_MAX_OPERANDS = {
+    Opcode.NOT: 1,
+    Opcode.NEG: 1,
+    Opcode.ABS: 1,
+    Opcode.SEXT: 1,
+    Opcode.ZEXT: 1,
+    Opcode.TRUNC: 1,
+    Opcode.LOAD: 2,
+    Opcode.SELECT: 3,
+    Opcode.MAC: 3,
+    Opcode.STORE: 2,
+    Opcode.BITINSERT: 3,
+}
+
+
+def validate_graph(graph: DataFlowGraph, raise_on_error: bool = True) -> ValidationReport:
+    """Check the structural invariants of *graph*.
+
+    Parameters
+    ----------
+    graph:
+        The graph to validate.
+    raise_on_error:
+        When ``True`` (the default) a :class:`ValidationError` is raised on the
+        first category of fatal problem; when ``False`` all problems are
+        collected into the returned report.
+    """
+    report = ValidationReport()
+
+    if not graph.is_dag():
+        report.errors.append("graph contains a cycle")
+
+    for node in graph.nodes():
+        preds = graph.predecessors(node.node_id)
+        succs = graph.successors(node.node_id)
+        if is_external(node.opcode):
+            if preds:
+                report.errors.append(
+                    f"external vertex {node.label} has predecessors {list(preds)}"
+                )
+            if not node.forbidden:
+                report.errors.append(f"external vertex {node.label} is not forbidden")
+        elif node.opcode in (Opcode.SOURCE, Opcode.SINK):
+            continue
+        else:
+            if not preds:
+                report.warnings.append(
+                    f"operation {node.label} has no operands (treated as a root)"
+                )
+            limit = _MAX_OPERANDS.get(node.opcode)
+            if limit is not None and len(preds) > limit:
+                report.warnings.append(
+                    f"operation {node.label} ({node.opcode.value}) has {len(preds)} operands, "
+                    f"expected at most {limit}"
+                )
+            binary = node.opcode not in _MAX_OPERANDS
+            if binary and len(preds) > 2:
+                report.warnings.append(
+                    f"operation {node.label} ({node.opcode.value}) has {len(preds)} operands, "
+                    "expected at most 2"
+                )
+        if node.opcode is Opcode.STORE and succs:
+            report.warnings.append(
+                f"store {node.label} produces a value used by {list(succs)}"
+            )
+        if not succs and not node.live_out and node.is_operation:
+            report.warnings.append(
+                f"operation {node.label} is dead (no successors and not live-out)"
+            )
+
+    if not any(node.is_operation for node in graph.nodes()):
+        report.warnings.append("graph contains no operation vertices")
+
+    if raise_on_error and report.errors:
+        raise ValidationError("; ".join(report.errors))
+    return report

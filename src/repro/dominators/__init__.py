@@ -1,0 +1,49 @@
+"""Dominator infrastructure.
+
+Single-vertex dominators (Lengauer–Tarjan and the iterative cross-check),
+dominator/postdominator trees with O(1) ancestor queries, and
+multiple-vertex (generalized) dominator enumeration in the style of
+Dubrova et al., which is the kernel of the paper's enumeration algorithm.
+"""
+
+from .dominator_tree import DominatorTree
+from .generalized import (
+    blocks_all_paths,
+    brute_force_generalized_dominators,
+    has_private_path,
+    is_generalized_dominator,
+    reachable_mask_avoiding,
+)
+from .iterative import immediate_dominators_iterative
+from .lengauer_tarjan import dominates, immediate_dominators, strict_dominators
+from .multi_vertex import (
+    CompletionResult,
+    dominator_completions,
+    enumerate_generalized_dominators,
+)
+from .postdominators import (
+    dominator_tree_of,
+    immediate_postdominators,
+    postdominator_tree,
+    postdominator_tree_of,
+)
+
+__all__ = [
+    "DominatorTree",
+    "blocks_all_paths",
+    "brute_force_generalized_dominators",
+    "has_private_path",
+    "is_generalized_dominator",
+    "reachable_mask_avoiding",
+    "immediate_dominators_iterative",
+    "dominates",
+    "immediate_dominators",
+    "strict_dominators",
+    "CompletionResult",
+    "dominator_completions",
+    "enumerate_generalized_dominators",
+    "dominator_tree_of",
+    "immediate_postdominators",
+    "postdominator_tree",
+    "postdominator_tree_of",
+]

@@ -1,0 +1,189 @@
+"""Multiple-vertex dominator enumeration (Dubrova et al. [12]).
+
+The enumeration algorithm of the paper needs, for every candidate output
+``o``, all multiple-vertex dominators of ``o`` with at most ``Nin`` vertices.
+Dubrova et al. observe that they can be enumerated in ``O(n^k)`` time by the
+following reduction: pick a *seed set* of ``k - 1`` vertices, remove it from
+the graph (together with everything that thereby becomes unreachable from the
+root), and run a *single-vertex* dominator computation on the reduced graph;
+every strict dominator ``u`` of the target in the reduced graph completes the
+seed into a ``k``-vertex dominator of the target in the original graph.
+
+This module provides:
+
+* :func:`dominator_completions` — one reduction step, the primitive invoked
+  by the incremental enumeration (``PICK-INPUTS`` in Figure 3);
+* :func:`enumerate_generalized_dominators` — full enumeration of the
+  generalized dominators of a vertex up to a size bound, used by the basic
+  algorithm of Figure 2 and validated in the tests against the
+  definition-based brute force of :mod:`repro.dominators.generalized`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Union
+
+from .generalized import is_generalized_dominator
+from .lengauer_tarjan import immediate_dominators, strict_dominators
+
+SuccessorProvider = Union[Sequence[Sequence[int]], Callable[[int], Sequence[int]]]
+
+
+@dataclass
+class CompletionResult:
+    """Result of one Dubrova reduction step.
+
+    Attributes
+    ----------
+    already_dominated:
+        ``True`` if the seed set alone already blocks every root-to-target
+        path (the target is unreachable in the reduced graph).  In that case
+        ``completions`` is empty.
+    completions:
+        Vertices ``u`` such that ``seed ∪ {u}`` blocks every root-to-target
+        path: the strict dominators of the target in the reduced graph
+        (nearest dominator first).  The root is included when it qualifies;
+        callers that cannot use the root as a cut input filter it out.
+    lt_calls:
+        Number of Lengauer–Tarjan invocations performed (0 or 1), used by the
+        statistics counters of the enumeration algorithms.
+    """
+
+    already_dominated: bool
+    completions: List[int]
+    lt_calls: int = 0
+
+
+def dominator_completions(
+    num_nodes: int,
+    successors: SuccessorProvider,
+    root: int,
+    target: int,
+    seed_mask: int = 0,
+) -> CompletionResult:
+    """Run one reduction step of the Dubrova et al. technique.
+
+    Parameters
+    ----------
+    num_nodes, successors, root:
+        The rooted graph (typically the augmented DFG).
+    target:
+        The vertex whose dominators are sought (a candidate cut output).
+    seed_mask:
+        Bit mask of the seed vertices removed from the graph.  The root and
+        the target must not be part of the seed.
+    """
+    if (seed_mask >> root) & 1:
+        raise ValueError("the root cannot be part of a seed set")
+    if (seed_mask >> target) & 1:
+        raise ValueError("the target cannot be part of a seed set")
+
+    idom = immediate_dominators(num_nodes, successors, root, removed_mask=seed_mask)
+    if idom[target] is None:
+        # Unreachable once the seed is removed: the seed alone dominates.
+        return CompletionResult(already_dominated=True, completions=[], lt_calls=1)
+    completions = strict_dominators(idom, target, root)
+    return CompletionResult(already_dominated=False, completions=completions, lt_calls=1)
+
+
+def enumerate_generalized_dominators(
+    num_nodes: int,
+    successors: SuccessorProvider,
+    root: int,
+    target: int,
+    max_size: int,
+    candidates: Optional[Iterable[int]] = None,
+    require_irredundant: bool = True,
+) -> Set[frozenset]:
+    """Enumerate the generalized dominators of *target* with at most *max_size* vertices.
+
+    Parameters
+    ----------
+    candidates:
+        Vertices allowed to appear in a dominator set.  Defaults to every
+        proper ancestor of *target* (which is the only place dominator
+        vertices can live).  The target itself is never a candidate.
+    require_irredundant:
+        When ``True`` (default) only sets satisfying both conditions of
+        Definition 5 are reported; when ``False`` any set found by the
+        seed-plus-completion construction is reported, which is what the
+        basic enumeration algorithm of Figure 2 consumes (Theorem 3 only
+        needs condition 1).
+    """
+    if max_size < 1:
+        return set()
+
+    if candidates is None:
+        candidate_list = _ancestors(num_nodes, successors, root, target)
+    else:
+        candidate_list = sorted(set(candidates) - {target})
+    candidate_mask = 0
+    for v in candidate_list:
+        candidate_mask |= 1 << v
+
+    results: Set[frozenset] = set()
+
+    def record(mask: int) -> None:
+        members = _mask_to_list(mask)
+        if require_irredundant and not is_generalized_dominator(
+            num_nodes, successors, root, target, members
+        ):
+            return
+        results.add(frozenset(members))
+
+    def explore(seed_mask: int, start_index: int, seed_size: int) -> None:
+        step = dominator_completions(num_nodes, successors, root, target, seed_mask)
+        if step.already_dominated:
+            # The seed already blocks every path; any extension is redundant.
+            if seed_size:
+                record(seed_mask)
+            return
+        for completion in step.completions:
+            if completion == target:
+                continue
+            if not ((candidate_mask >> completion) & 1):
+                continue
+            record(seed_mask | (1 << completion))
+        if seed_size + 1 >= max_size:
+            return
+        for index in range(start_index, len(candidate_list)):
+            vertex = candidate_list[index]
+            if vertex == root or (seed_mask >> vertex) & 1:
+                continue
+            explore(seed_mask | (1 << vertex), index + 1, seed_size + 1)
+
+    explore(0, 0, 0)
+    return results
+
+
+def _ancestors(
+    num_nodes: int, successors: SuccessorProvider, root: int, target: int
+) -> List[int]:
+    """Proper ancestors of *target* reachable from *root* (sorted)."""
+    succ_of = successors if callable(successors) else (lambda v: successors[v])
+    # Build predecessor lists on the fly.
+    preds: List[List[int]] = [[] for _ in range(num_nodes)]
+    for v in range(num_nodes):
+        for s in succ_of(v):
+            preds[s].append(v)
+    seen = set()
+    stack = list(preds[target])
+    while stack:
+        v = stack.pop()
+        if v in seen:
+            continue
+        seen.add(v)
+        stack.extend(preds[v])
+    return sorted(seen)
+
+
+def _mask_to_list(mask: int) -> List[int]:
+    result = []
+    index = 0
+    while mask:
+        if mask & 1:
+            result.append(index)
+        mask >>= 1
+        index += 1
+    return result

@@ -1,0 +1,47 @@
+"""Postdominator computation on augmented data-flow graphs.
+
+Postdominators are dominators of the reverse graph rooted at the artificial
+sink.  The paper uses them in two pruning rules:
+
+* output admissibility — two vertices where one postdominates the other can
+  never both be outputs of the same convex cut (Section 5.1);
+* input–input pruning — a seed set in which one input postdominates another
+  can be dismissed before running Lengauer–Tarjan (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dfg.augment import AugmentedDFG
+from ..dfg.graph import DataFlowGraph
+from .dominator_tree import DominatorTree
+from .lengauer_tarjan import immediate_dominators
+
+
+def immediate_postdominators(
+    graph: DataFlowGraph,
+    sink: int,
+    removed_mask: int = 0,
+) -> List[Optional[int]]:
+    """Immediate postdominators of every vertex of *graph* w.r.t. *sink*."""
+    predecessor_lists = [list(graph.predecessors(v)) for v in graph.node_ids()]
+    return immediate_dominators(graph.num_nodes, predecessor_lists, sink, removed_mask)
+
+
+def postdominator_tree(graph: DataFlowGraph, sink: int) -> DominatorTree:
+    """Postdominator tree of *graph* rooted at *sink*."""
+    return DominatorTree(immediate_postdominators(graph, sink), sink)
+
+
+def dominator_tree_of(augmented: AugmentedDFG) -> DominatorTree:
+    """Dominator tree of an augmented DFG, rooted at its artificial source."""
+    graph = augmented.graph
+    successor_lists = [list(graph.successors(v)) for v in graph.node_ids()]
+    idom = immediate_dominators(graph.num_nodes, successor_lists, augmented.source)
+    return DominatorTree(idom, augmented.source)
+
+
+def postdominator_tree_of(augmented: AugmentedDFG) -> DominatorTree:
+    """Postdominator tree of an augmented DFG, rooted at its artificial sink."""
+    return postdominator_tree(augmented.graph, augmented.sink)

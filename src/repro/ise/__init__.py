@@ -1,0 +1,39 @@
+"""Instruction-set-extension layer built on top of the enumeration core.
+
+Latency models, cut merit (speedup) estimation, greedy/density-based selection
+of non-overlapping custom instructions, and the end-to-end identification
+pipeline that the paper's compiler toolchain uses the enumeration for.
+"""
+
+from .isa import CustomInstruction, InstructionSetExtension, make_instruction
+from .latency import DEFAULT_LATENCY_MODEL, LatencyModel, cut_area, total_software_cycles
+from .pipeline import (
+    BlockProfile,
+    BlockResult,
+    PipelineResult,
+    identify_instruction_set_extension,
+)
+from .selection import SelectionConfig, is_disjoint_selection, select_cuts, selection_covers
+from .speedup import ScoredCut, estimate_block_speedup, score_cut, score_cuts
+
+__all__ = [
+    "CustomInstruction",
+    "InstructionSetExtension",
+    "make_instruction",
+    "DEFAULT_LATENCY_MODEL",
+    "LatencyModel",
+    "cut_area",
+    "total_software_cycles",
+    "BlockProfile",
+    "BlockResult",
+    "PipelineResult",
+    "identify_instruction_set_extension",
+    "SelectionConfig",
+    "is_disjoint_selection",
+    "select_cuts",
+    "selection_covers",
+    "ScoredCut",
+    "estimate_block_speedup",
+    "score_cut",
+    "score_cuts",
+]

@@ -1,0 +1,113 @@
+"""Latency models for custom-instruction merit estimation.
+
+The paper defers speedup evaluation to prior work ([4], [7], [10]); this module
+implements the standard model those papers use so that the enumerated cuts can
+be turned into an actual instruction-set extension:
+
+* **software cost** of a cut: the sum of the software latencies of its
+  operations — the cycles the baseline processor spends executing them one by
+  one;
+* **hardware latency** of a cut: the length, in normalised operator delays, of
+  the critical path through the cut when it is implemented as a single
+  combinational datapath inside a custom functional unit, rounded up to an
+  integer number of processor cycles;
+* **transfer cost**: extra cycles needed when the cut needs more operands or
+  results than the register file ports of the base ISA can provide in one
+  instruction (Atasu et al. model each extra pair of reads or extra write as
+  one additional cycle).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from ..core.context import EnumerationContext
+from ..core.cut import Cut
+from ..dfg.opcodes import hardware_latency, software_latency
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Parameters of the software/hardware timing model.
+
+    Attributes
+    ----------
+    base_isa_read_ports:
+        Register-file read ports a standard instruction can use (2 in a
+        classic RISC ISA).
+    base_isa_write_ports:
+        Register-file write ports a standard instruction can use (1).
+    cycles_per_extra_transfer:
+        Cycles charged for every operand read beyond the base read ports and
+        every result write beyond the base write ports.
+    hw_cycle_granularity:
+        The hardware critical path is rounded up to a multiple of this
+        fraction of a cycle (1.0 reproduces the whole-cycle rounding used by
+        Atasu et al.).
+    """
+
+    base_isa_read_ports: int = 2
+    base_isa_write_ports: int = 1
+    cycles_per_extra_transfer: float = 1.0
+    hw_cycle_granularity: float = 1.0
+
+    # ------------------------------------------------------------------ #
+    def software_cost(self, cut: Cut, context: EnumerationContext) -> float:
+        """Cycles spent by the baseline processor executing the cut's operations."""
+        graph = context.augmented.graph
+        return sum(software_latency(graph.node(v).opcode) for v in cut.nodes)
+
+    def hardware_critical_path(self, cut: Cut, context: EnumerationContext) -> float:
+        """Normalised delay of the longest path through the cut's datapath."""
+        graph = context.augmented.graph
+        mask = cut.node_mask()
+        order = [v for v in graph.topological_order() if (mask >> v) & 1]
+        finish: Dict[int, float] = {}
+        longest = 0.0
+        for vertex in order:
+            delay = hardware_latency(graph.node(vertex).opcode)
+            start = 0.0
+            for pred in context.predecessor_lists[vertex]:
+                if (mask >> pred) & 1 and finish.get(pred, 0.0) > start:
+                    start = finish[pred]
+            finish[vertex] = start + delay
+            if finish[vertex] > longest:
+                longest = finish[vertex]
+        return longest
+
+    def hardware_cost(self, cut: Cut, context: EnumerationContext) -> float:
+        """Cycles the custom instruction takes, including I/O transfer overhead."""
+        critical = self.hardware_critical_path(cut, context)
+        granularity = self.hw_cycle_granularity
+        compute_cycles = max(
+            granularity, math.ceil(critical / granularity) * granularity
+        )
+        extra_reads = max(0, cut.num_inputs - self.base_isa_read_ports)
+        extra_writes = max(0, cut.num_outputs - self.base_isa_write_ports)
+        transfer_cycles = self.cycles_per_extra_transfer * (extra_reads + extra_writes)
+        return compute_cycles + transfer_cycles
+
+    def saved_cycles(self, cut: Cut, context: EnumerationContext) -> float:
+        """Cycles saved each time the custom instruction replaces the cut."""
+        return self.software_cost(cut, context) - self.hardware_cost(cut, context)
+
+
+DEFAULT_LATENCY_MODEL = LatencyModel()
+
+
+def total_software_cycles(context: EnumerationContext, model: LatencyModel = DEFAULT_LATENCY_MODEL) -> float:
+    """Software cycles of the whole basic block (all operation vertices)."""
+    graph = context.original_graph
+    return sum(
+        software_latency(node.opcode) for node in graph.nodes() if node.is_operation
+    )
+
+
+def cut_area(cut: Cut, context: EnumerationContext) -> float:
+    """Relative silicon area of the cut's datapath (sum of operator areas)."""
+    from ..dfg.opcodes import area_cost
+
+    graph = context.augmented.graph
+    return sum(area_cost(graph.node(v).opcode) for v in cut.nodes)

@@ -1,0 +1,97 @@
+"""Selection of a non-overlapping subset of the enumerated cuts.
+
+Enumerating all valid cuts is the paper's contribution; turning them into an
+instruction set extension additionally requires choosing which cuts to
+implement.  Exact selection is NP-hard once more than one instruction is
+allowed (the paper cites [15] on this), so the standard approaches are:
+
+* **greedy selection** — repeatedly pick the cut with the highest weighted
+  gain that does not overlap the already selected ones (and, optionally, still
+  fits in the remaining area budget);
+* **iterative / knapsack-aware selection** — the same greedy loop driven by
+  gain density (gain per unit area) when an area budget is the binding
+  constraint, which corresponds to the classic fractional-knapsack heuristic.
+
+Both operate on :class:`~repro.ise.speedup.ScoredCut` objects and return the
+selected subset in selection order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .speedup import ScoredCut
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Parameters of the selection pass.
+
+    Attributes
+    ----------
+    max_instructions:
+        Upper bound on the number of custom instructions (``None`` = no bound).
+        Commercial flows typically restrict this to a handful per application.
+    area_budget:
+        Total area available for custom functional units, in the same relative
+        units as :func:`repro.ise.latency.cut_area` (``None`` = unlimited).
+    by_density:
+        When ``True`` cuts are ranked by gain density (gain / area) instead of
+        raw gain, which is the better heuristic under a tight area budget.
+    """
+
+    max_instructions: Optional[int] = None
+    area_budget: Optional[float] = None
+    by_density: bool = False
+
+
+def select_cuts(
+    scored_cuts: Iterable[ScoredCut],
+    config: SelectionConfig = SelectionConfig(),
+) -> List[ScoredCut]:
+    """Greedy non-overlapping selection of custom instructions.
+
+    The input does not need to be sorted; cuts with non-positive gain are
+    never selected.
+    """
+    candidates = [entry for entry in scored_cuts if entry.weighted_gain > 0]
+    if config.by_density:
+        candidates.sort(key=lambda entry: entry.gain_per_area, reverse=True)
+    else:
+        candidates.sort(key=lambda entry: entry.weighted_gain, reverse=True)
+
+    selected: List[ScoredCut] = []
+    used_vertices: set = set()
+    remaining_area = config.area_budget
+
+    for entry in candidates:
+        if config.max_instructions is not None and len(selected) >= config.max_instructions:
+            break
+        if entry.cut.nodes & used_vertices:
+            continue
+        if remaining_area is not None and entry.area > remaining_area:
+            continue
+        selected.append(entry)
+        used_vertices |= entry.cut.nodes
+        if remaining_area is not None:
+            remaining_area -= entry.area
+    return selected
+
+
+def selection_covers(selected: Iterable[ScoredCut]) -> set:
+    """Union of the vertices covered by the selected cuts (for reporting/tests)."""
+    covered: set = set()
+    for entry in selected:
+        covered |= entry.cut.nodes
+    return covered
+
+
+def is_disjoint_selection(selected: List[ScoredCut]) -> bool:
+    """``True`` if no two selected cuts share a vertex (selection invariant)."""
+    seen: set = set()
+    for entry in selected:
+        if entry.cut.nodes & seen:
+            return False
+        seen |= entry.cut.nodes
+    return True

@@ -1,0 +1,107 @@
+"""Merit (speedup) estimation for enumerated cuts.
+
+Combines the latency model with an execution-frequency profile to rank the
+candidate custom instructions, following the merit function used in the
+optimal ISE identification literature the paper builds on: the gain of a cut
+is the number of cycles it saves per execution of its basic block, weighted by
+how often the block executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..core.context import EnumerationContext
+from ..core.cut import Cut
+from .latency import DEFAULT_LATENCY_MODEL, LatencyModel, cut_area, total_software_cycles
+
+
+@dataclass(frozen=True)
+class ScoredCut:
+    """A cut together with its estimated merit.
+
+    Attributes
+    ----------
+    cut:
+        The candidate custom instruction.
+    saved_cycles_per_execution:
+        Cycles saved each time the surrounding basic block executes.
+    weighted_gain:
+        Saved cycles multiplied by the basic-block execution count.
+    hardware_cycles / software_cycles:
+        The two sides of the comparison, for reporting.
+    area:
+        Relative area of the custom functional unit datapath.
+    """
+
+    cut: Cut
+    saved_cycles_per_execution: float
+    weighted_gain: float
+    hardware_cycles: float
+    software_cycles: float
+    area: float
+
+    @property
+    def gain_per_area(self) -> float:
+        """Merit density used by the area-constrained selection heuristics."""
+        if self.area <= 0:
+            return float("inf") if self.weighted_gain > 0 else 0.0
+        return self.weighted_gain / self.area
+
+
+def score_cut(
+    cut: Cut,
+    context: EnumerationContext,
+    execution_count: float = 1.0,
+    model: LatencyModel = DEFAULT_LATENCY_MODEL,
+) -> ScoredCut:
+    """Estimate the merit of a single cut."""
+    software = model.software_cost(cut, context)
+    hardware = model.hardware_cost(cut, context)
+    saved = software - hardware
+    return ScoredCut(
+        cut=cut,
+        saved_cycles_per_execution=saved,
+        weighted_gain=saved * execution_count,
+        hardware_cycles=hardware,
+        software_cycles=software,
+        area=cut_area(cut, context),
+    )
+
+
+def score_cuts(
+    cuts: Iterable[Cut],
+    context: EnumerationContext,
+    execution_count: float = 1.0,
+    model: LatencyModel = DEFAULT_LATENCY_MODEL,
+    keep_only_profitable: bool = True,
+) -> List[ScoredCut]:
+    """Score a collection of cuts and sort them by decreasing weighted gain."""
+    scored = [
+        score_cut(cut, context, execution_count=execution_count, model=model)
+        for cut in cuts
+    ]
+    if keep_only_profitable:
+        scored = [entry for entry in scored if entry.saved_cycles_per_execution > 0]
+    scored.sort(key=lambda entry: entry.weighted_gain, reverse=True)
+    return scored
+
+
+def estimate_block_speedup(
+    selected: Iterable[ScoredCut],
+    context: EnumerationContext,
+    model: LatencyModel = DEFAULT_LATENCY_MODEL,
+) -> float:
+    """Speedup of the basic block when the selected custom instructions are used.
+
+    ``speedup = T_sw / (T_sw - sum(saved))`` where ``T_sw`` is the software
+    execution time of the whole block.  The selected cuts are assumed to be
+    vertex-disjoint (as produced by :mod:`repro.ise.selection`).
+    """
+    baseline = total_software_cycles(context, model)
+    if baseline <= 0:
+        return 1.0
+    saved = sum(entry.saved_cycles_per_execution for entry in selected)
+    remaining = max(baseline - saved, 1e-9)
+    return baseline / remaining

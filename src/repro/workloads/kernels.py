@@ -1,0 +1,266 @@
+"""Hand-written data-flow graphs of classic embedded kernels.
+
+MiBench — the benchmark suite the paper extracts its basic blocks from — is
+built around well-known embedded kernels (CRC, ADPCM, SHA, Rijndael, FFT/DCT
+arithmetic, ...).  This module reconstructs representative inner-loop basic
+blocks of those kernels by hand, at the data-flow level, so that the examples
+and the ISE pipeline run on recognisable, realistic computations rather than
+purely random graphs.
+
+Each factory returns an independent :class:`~repro.dfg.graph.DataFlowGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..dfg.builder import DFGBuilder
+from ..dfg.graph import DataFlowGraph
+from ..dfg.opcodes import Opcode
+
+
+def crc32_step() -> DataFlowGraph:
+    """One table-less CRC-32 bit step: ``crc = (crc >> 1) ^ (poly & -(crc & 1 ^ bit))``."""
+    b = DFGBuilder("crc32_step")
+    crc = b.input("crc")
+    data = b.input("data")
+    poly = b.const("poly")
+    one = b.const("1")
+    bit = b.and_(data, one, name="data_bit")
+    lsb = b.and_(crc, one, name="crc_lsb")
+    t = b.xor(lsb, bit, name="t")
+    mask = b.op(Opcode.NEG, t, name="mask")
+    sel = b.and_(poly, mask, name="poly_or_zero")
+    shifted = b.shr(crc, one, name="crc_shift")
+    out = b.xor(shifted, sel, name="crc_next", live_out=True)
+    b.mark_live_out(out)
+    return b.build()
+
+
+def adpcm_decode_step() -> DataFlowGraph:
+    """ADPCM (IMA) decoder inner step: delta reconstruction and predictor update."""
+    b = DFGBuilder("adpcm_decode_step")
+    delta = b.input("delta")
+    step = b.input("step")
+    valpred = b.input("valpred")
+    c4 = b.const("4")
+    c2 = b.const("2")
+    c1 = b.const("1")
+    c3 = b.const("3")
+    # vpdiff = step >> 3 + ((delta&4)? step : 0) + ((delta&2)? step>>1 : 0) + ...
+    s3 = b.shr(step, c3, name="step_s3")
+    d4 = b.and_(delta, c4, name="d4")
+    m4 = b.op(Opcode.NE, d4, c4, name="m4")
+    t4 = b.op(Opcode.SELECT, m4, s3, step, name="t4")
+    s1 = b.shr(step, c1, name="step_s1")
+    d2 = b.and_(delta, c2, name="d2")
+    m2 = b.op(Opcode.NE, d2, c2, name="m2")
+    t2 = b.op(Opcode.SELECT, m2, t4, s1, name="t2")
+    vpdiff = b.add(t4, t2, name="vpdiff")
+    d8 = b.and_(delta, b.const("8"), name="sign")
+    neg = b.sub(valpred, vpdiff, name="val_minus")
+    pos = b.add(valpred, vpdiff, name="val_plus")
+    sel = b.op(Opcode.SELECT, d8, neg, pos, name="valpred_next")
+    clipped = b.op(Opcode.MAX, b.op(Opcode.MIN, sel, b.const("32767")), b.const("-32768"),
+                   name="valpred_clipped", live_out=True)
+    b.mark_live_out(clipped)
+    return b.build()
+
+
+def sha1_round() -> DataFlowGraph:
+    """One SHA-1 compression round (rotate/xor/add mix on the five state words)."""
+    b = DFGBuilder("sha1_round")
+    a, bb, c, d, e = b.inputs("a", "b", "c", "d", "e")
+    w = b.input("w_t")
+    k = b.const("k_t")
+    c5 = b.const("5")
+    c30 = b.const("30")
+    rot_a = b.op(Opcode.ROL, a, c5, name="rol5_a")
+    f = b.xor(b.xor(bb, c, name="bxc"), d, name="f_parity")
+    t1 = b.add(rot_a, f, name="t1")
+    t2 = b.add(t1, e, name="t2")
+    t3 = b.add(t2, w, name="t3")
+    temp = b.add(t3, k, name="temp", live_out=True)
+    new_c = b.op(Opcode.ROL, bb, c30, name="rol30_b", live_out=True)
+    b.mark_live_out(temp, new_c)
+    return b.build()
+
+
+def aes_mix_column() -> DataFlowGraph:
+    """AES MixColumns on one column (xtime/xor network over four state bytes)."""
+    b = DFGBuilder("aes_mix_column")
+    s0, s1, s2, s3 = b.inputs("s0", "s1", "s2", "s3")
+    poly = b.const("0x1b")
+    c1 = b.const("1")
+    c7 = b.const("7")
+
+    def xtime(x: int, tag: str) -> int:
+        hi = b.shr(x, c7, name=f"hi_{tag}")
+        mask = b.op(Opcode.NEG, hi, name=f"mask_{tag}")
+        reduced = b.and_(mask, poly, name=f"red_{tag}")
+        doubled = b.shl(x, c1, name=f"dbl_{tag}")
+        return b.xor(doubled, reduced, name=f"xtime_{tag}")
+
+    t = b.xor(b.xor(s0, s1, name="t01"), b.xor(s2, s3, name="t23"), name="t_all")
+    x0 = xtime(b.xor(s0, s1, name="s01"), "0")
+    out0 = b.xor(b.xor(s0, x0, name="o0a"), t, name="out0", live_out=True)
+    x1 = xtime(b.xor(s1, s2, name="s12"), "1")
+    out1 = b.xor(b.xor(s1, x1, name="o1a"), t, name="out1", live_out=True)
+    b.mark_live_out(out0, out1)
+    return b.build()
+
+
+def fir_tap_pair() -> DataFlowGraph:
+    """Two taps of a FIR filter with loads of samples and coefficients."""
+    b = DFGBuilder("fir_tap_pair")
+    sample_ptr = b.input("sample_ptr")
+    coeff_ptr = b.input("coeff_ptr")
+    acc = b.input("acc")
+    c4 = b.const("4")
+    s0 = b.load(sample_ptr, name="s0")
+    c0 = b.load(coeff_ptr, name="c0")
+    p0 = b.mul(s0, c0, name="p0")
+    acc1 = b.add(acc, p0, name="acc1")
+    sp1 = b.add(sample_ptr, c4, name="sp1")
+    cp1 = b.add(coeff_ptr, c4, name="cp1")
+    s1 = b.load(sp1, name="s1")
+    c1 = b.load(cp1, name="c1")
+    p1 = b.mul(s1, c1, name="p1")
+    acc2 = b.add(acc1, p1, name="acc2", live_out=True)
+    b.mark_live_out(acc2, sp1, cp1)
+    return b.build()
+
+
+def dct_butterfly() -> DataFlowGraph:
+    """A scaled DCT butterfly (add/sub plus two fixed-point multiplies)."""
+    b = DFGBuilder("dct_butterfly")
+    x0, x1 = b.inputs("x0", "x1")
+    w0 = b.const("w0")
+    w1 = b.const("w1")
+    c15 = b.const("15")
+    s = b.add(x0, x1, name="sum")
+    d = b.sub(x0, x1, name="diff")
+    m0 = b.mul(s, w0, name="m0")
+    m1 = b.mul(d, w1, name="m1")
+    r0 = b.op(Opcode.SAR, m0, c15, name="r0", live_out=True)
+    r1 = b.op(Opcode.SAR, m1, c15, name="r1", live_out=True)
+    b.mark_live_out(r0, r1)
+    return b.build()
+
+
+def blowfish_feistel() -> DataFlowGraph:
+    """Blowfish Feistel function: four S-box lookups combined with add/xor."""
+    b = DFGBuilder("blowfish_feistel")
+    x = b.input("x")
+    sbox0, sbox1, sbox2, sbox3 = (b.input(f"sbox{i}_base") for i in range(4))
+    c24 = b.const("24")
+    c16 = b.const("16")
+    c8 = b.const("8")
+    mask = b.const("0xff")
+    a = b.and_(b.shr(x, c24, name="xa"), mask, name="ia")
+    bb = b.and_(b.shr(x, c16, name="xb"), mask, name="ib")
+    c = b.and_(b.shr(x, c8, name="xc"), mask, name="ic")
+    d = b.and_(x, mask, name="id")
+    la = b.load(b.add(sbox0, a, name="addr_a"), name="sa")
+    lb = b.load(b.add(sbox1, bb, name="addr_b"), name="sb")
+    lc = b.load(b.add(sbox2, c, name="addr_c"), name="sc")
+    ld = b.load(b.add(sbox3, d, name="addr_d"), name="sd")
+    t0 = b.add(la, lb, name="t0")
+    t1 = b.xor(t0, lc, name="t1")
+    out = b.add(t1, ld, name="f_out", live_out=True)
+    b.mark_live_out(out)
+    return b.build()
+
+
+def gsm_add_saturated() -> DataFlowGraph:
+    """GSM saturated addition: ``sat(a + b)`` with overflow clamping."""
+    b = DFGBuilder("gsm_add_saturated")
+    a, bb = b.inputs("a", "b")
+    max_c = b.const("32767")
+    min_c = b.const("-32768")
+    s = b.add(a, bb, name="sum")
+    clipped_hi = b.op(Opcode.MIN, s, max_c, name="clip_hi")
+    out = b.op(Opcode.MAX, clipped_hi, min_c, name="sat", live_out=True)
+    b.mark_live_out(out)
+    return b.build()
+
+
+def bitcount_kernighan() -> DataFlowGraph:
+    """Three unrolled iterations of Kernighan's bit-count loop."""
+    b = DFGBuilder("bitcount")
+    x = b.input("x")
+    count = b.input("count")
+    one = b.const("1")
+
+    def step(value: int, counter: int, tag: str):
+        minus = b.sub(value, one, name=f"m_{tag}")
+        cleared = b.and_(value, minus, name=f"v_{tag}")
+        bumped = b.add(counter, one, name=f"c_{tag}")
+        return cleared, bumped
+
+    v1, c1 = step(x, count, "1")
+    v2, c2 = step(v1, c1, "2")
+    v3, c3 = step(v2, c2, "3")
+    b.mark_live_out(v3, c3)
+    return b.build()
+
+
+def rijndael_key_mix() -> DataFlowGraph:
+    """Rijndael key schedule word mix (rotate, xor with round constant)."""
+    b = DFGBuilder("rijndael_key_mix")
+    w0, w3 = b.inputs("w0", "w3")
+    rcon = b.const("rcon")
+    c8 = b.const("8")
+    c24 = b.const("24")
+    rot = b.or_(b.shl(w3, c8, name="rot_l"), b.shr(w3, c24, name="rot_r"), name="rotword")
+    mixed = b.xor(rot, rcon, name="with_rcon")
+    out = b.xor(mixed, w0, name="w4", live_out=True)
+    b.mark_live_out(out)
+    return b.build()
+
+
+def viterbi_acs() -> DataFlowGraph:
+    """Viterbi add-compare-select butterfly (two path metrics, one decision)."""
+    b = DFGBuilder("viterbi_acs")
+    pm0, pm1 = b.inputs("pm0", "pm1")
+    bm0, bm1 = b.inputs("bm0", "bm1")
+    p00 = b.add(pm0, bm0, name="p00")
+    p11 = b.add(pm1, bm1, name="p11")
+    p01 = b.add(pm0, bm1, name="p01")
+    p10 = b.add(pm1, bm0, name="p10")
+    best_a = b.op(Opcode.MIN, p00, p11, name="best_a", live_out=True)
+    best_b = b.op(Opcode.MIN, p01, p10, name="best_b", live_out=True)
+    decision = b.op(Opcode.LT, p00, p11, name="decision", live_out=True)
+    b.mark_live_out(best_a, best_b, decision)
+    return b.build()
+
+
+#: Registry of every hand-written kernel, keyed by name.
+KERNEL_FACTORIES: Dict[str, Callable[[], DataFlowGraph]] = {
+    "crc32_step": crc32_step,
+    "adpcm_decode_step": adpcm_decode_step,
+    "sha1_round": sha1_round,
+    "aes_mix_column": aes_mix_column,
+    "fir_tap_pair": fir_tap_pair,
+    "dct_butterfly": dct_butterfly,
+    "blowfish_feistel": blowfish_feistel,
+    "gsm_add_saturated": gsm_add_saturated,
+    "bitcount": bitcount_kernighan,
+    "rijndael_key_mix": rijndael_key_mix,
+    "viterbi_acs": viterbi_acs,
+}
+
+
+def kernel_names() -> List[str]:
+    """Names of all available hand-written kernels."""
+    return sorted(KERNEL_FACTORIES)
+
+
+def build_kernel(name: str) -> DataFlowGraph:
+    """Build the kernel called *name* (raises ``KeyError`` for unknown names)."""
+    return KERNEL_FACTORIES[name]()
+
+
+def all_kernels() -> List[DataFlowGraph]:
+    """Build every hand-written kernel."""
+    return [factory() for factory in KERNEL_FACTORIES.values()]

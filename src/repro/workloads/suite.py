@@ -1,0 +1,77 @@
+"""Workload-suite container with save/load support.
+
+Benchmark runs should be reproducible: a :class:`WorkloadSuite` couples a list
+of named data-flow graphs with the metadata needed to regenerate or reload
+them, and can be serialised to a directory of JSON files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..dfg.graph import DataFlowGraph
+from ..dfg.serialization import graph_from_dict, graph_to_dict
+
+
+@dataclass
+class WorkloadSuite:
+    """A named, ordered collection of basic blocks."""
+
+    name: str
+    graphs: List[DataFlowGraph] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def __iter__(self) -> Iterator[DataFlowGraph]:
+        return iter(self.graphs)
+
+    def add(self, graph: DataFlowGraph) -> None:
+        """Append a graph to the suite."""
+        self.graphs.append(graph)
+
+    def by_name(self, graph_name: str) -> DataFlowGraph:
+        """Return the graph called *graph_name* (raises ``KeyError`` if absent)."""
+        for graph in self.graphs:
+            if graph.name == graph_name:
+                return graph
+        raise KeyError(graph_name)
+
+    def sizes(self) -> List[int]:
+        """Operation counts of the suite's graphs, in order."""
+        return [len(graph.operation_nodes()) for graph in self.graphs]
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory: Union[str, Path]) -> None:
+        """Write the suite to *directory* (one JSON file per graph plus an index)."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        index = {
+            "name": self.name,
+            "metadata": self.metadata,
+            "graphs": [],
+        }
+        for position, graph in enumerate(self.graphs):
+            filename = f"{position:04d}_{graph.name}.json"
+            (path / filename).write_text(
+                json.dumps(graph_to_dict(graph), indent=1), encoding="utf-8"
+            )
+            index["graphs"].append(filename)
+        (path / "suite.json").write_text(json.dumps(index, indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "WorkloadSuite":
+        """Load a suite previously written by :meth:`save`."""
+        path = Path(directory)
+        index = json.loads((path / "suite.json").read_text(encoding="utf-8"))
+        suite = cls(name=index["name"], metadata=index.get("metadata", {}))
+        for filename in index["graphs"]:
+            data = json.loads((path / filename).read_text(encoding="utf-8"))
+            suite.add(graph_from_dict(data))
+        return suite

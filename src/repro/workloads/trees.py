@@ -1,0 +1,76 @@
+"""Tree-shaped worst-case data-flow graphs (Figure 4 of the paper).
+
+The paper uses four synthetic, tree-shaped DFGs of depth 4 to 7 as the
+worst case for the exhaustive enumeration algorithms of Atasu et al. [4] and
+Pozzi et al. [15]: on such graphs the binary search space cannot be pruned
+effectively and the run time of [4] can be shown to grow as ``O(1.6^n)``,
+whereas the polynomial algorithm keeps its ``O(n^(Nin+Nout+1))`` bound.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dfg.graph import DataFlowGraph
+from ..dfg.opcodes import Opcode
+
+
+def tree_dfg(depth: int, opcode: Opcode = Opcode.ADD, name: str = "") -> DataFlowGraph:
+    """Complete binary reduction tree of the given *depth*.
+
+    The tree has ``2**depth`` external inputs at the leaves and ``2**depth - 1``
+    operation vertices; the root of the reduction is the single live-out value.
+    ``depth=4 .. 7`` reproduces the four synthetic graphs of the paper
+    (31, 63, 127 and 255 vertices).
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    graph = DataFlowGraph(name=name or f"tree_depth{depth}")
+    level: List[int] = [
+        graph.add_node(Opcode.INPUT, name=f"leaf{i}") for i in range(2 ** depth)
+    ]
+    while len(level) > 1:
+        next_level: List[int] = []
+        for index in range(0, len(level), 2):
+            parent = graph.add_node(opcode)
+            graph.add_edge(level[index], parent)
+            graph.add_edge(level[index + 1], parent)
+            next_level.append(parent)
+        level = next_level
+    graph.set_live_out(level[0], True)
+    return graph
+
+
+def paper_tree_suite() -> List[DataFlowGraph]:
+    """The four tree-shaped graphs of the paper (depth 4 to 7)."""
+    return [tree_dfg(depth) for depth in (4, 5, 6, 7)]
+
+
+def inverted_tree_dfg(depth: int, opcode: Opcode = Opcode.XOR, name: str = "") -> DataFlowGraph:
+    """Fan-out (broadcast) tree: one input value expanded into ``2**depth`` results.
+
+    The mirror image of :func:`tree_dfg`; useful as an additional stress case
+    for the output-constrained part of the search.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    graph = DataFlowGraph(name=name or f"inv_tree_depth{depth}")
+    root_input = graph.add_node(Opcode.INPUT, name="in")
+    seed_const = graph.add_node(Opcode.CONSTANT, name="c")
+    level = [graph.add_node(opcode, name="root")]
+    graph.add_edge(root_input, level[0])
+    graph.add_edge(seed_const, level[0])
+    for _ in range(depth - 1):
+        next_level = []
+        for vertex in level:
+            left = graph.add_node(opcode)
+            right = graph.add_node(opcode)
+            graph.add_edge(vertex, left)
+            graph.add_edge(vertex, right)
+            graph.add_edge(seed_const, left)
+            graph.add_edge(root_input, right)
+            next_level.extend((left, right))
+        level = next_level
+    for vertex in level:
+        graph.set_live_out(vertex, True)
+    return graph

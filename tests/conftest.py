@@ -1,0 +1,131 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.core import Constraints, EnumerationContext
+from repro.dfg import DataFlowGraph, DFGBuilder, Opcode
+from repro.dfg.builder import diamond, linear_chain
+
+# Hypothesis profile: the enumeration cross-checks are CPU heavy, so keep the
+# example counts moderate and disable the too-slow health check.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic example graphs
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def diamond_graph() -> DataFlowGraph:
+    """The 4-operation diamond used throughout the unit tests."""
+    return diamond()
+
+
+@pytest.fixture
+def chain_graph() -> DataFlowGraph:
+    """A 5-operation dependence chain."""
+    return linear_chain(5)
+
+
+@pytest.fixture
+def paper_figure1_graph() -> DataFlowGraph:
+    """The data-flow graph of Figure 1 of the paper.
+
+    Three external inputs A, B, C; the interior vertex N; two live-out
+    vertices X and Y.  Vertex ids: A=0, B=1, C=2, N=3, X=4, Y=5.
+    """
+    graph = DataFlowGraph(name="paper_figure1")
+    a = graph.add_node(Opcode.INPUT, name="A")
+    b = graph.add_node(Opcode.INPUT, name="B")
+    c = graph.add_node(Opcode.INPUT, name="C")
+    n = graph.add_node(Opcode.ADD, name="N")
+    x = graph.add_node(Opcode.ADD, name="X", live_out=True)
+    y = graph.add_node(Opcode.ADD, name="Y", live_out=True)
+    graph.add_edge(a, n)
+    graph.add_edge(b, n)
+    graph.add_edge(a, x)
+    graph.add_edge(n, x)
+    graph.add_edge(n, y)
+    graph.add_edge(b, y)
+    graph.add_edge(c, y)
+    return graph
+
+
+@pytest.fixture
+def loads_graph() -> DataFlowGraph:
+    """A small graph containing forbidden memory operations."""
+    builder = DFGBuilder("with_loads")
+    base = builder.input("base")
+    offset = builder.input("offset")
+    addr = builder.add(base, offset, name="addr")
+    value = builder.load(addr, name="value")
+    scaled = builder.shl(value, builder.const("2"), name="scaled")
+    total = builder.add(scaled, offset, name="total", live_out=True)
+    builder.mark_live_out(total)
+    return builder.build()
+
+
+@pytest.fixture
+def default_constraints() -> Constraints:
+    """The paper's experimental constraints: Nin=4, Nout=2."""
+    return Constraints(max_inputs=4, max_outputs=2)
+
+
+@pytest.fixture
+def diamond_context(diamond_graph, default_constraints) -> EnumerationContext:
+    """Pre-built enumeration context for the diamond graph."""
+    return EnumerationContext.build(diamond_graph, default_constraints)
+
+
+# --------------------------------------------------------------------------- #
+# Random-graph helpers shared by property tests
+# --------------------------------------------------------------------------- #
+def make_random_dag(
+    seed: int,
+    num_operations: int = 8,
+    num_inputs: int = 3,
+    memory_probability: float = 0.2,
+    live_out_probability: float = 0.15,
+) -> DataFlowGraph:
+    """Random small DAG with realistic fan-in, used as the property-test substrate."""
+    rng = random.Random(seed)
+    graph = DataFlowGraph(name=f"random_{seed}")
+    producers = [graph.add_node(Opcode.INPUT, name=f"in{i}") for i in range(num_inputs)]
+    opcode_pool = [Opcode.ADD, Opcode.MUL, Opcode.XOR, Opcode.SHL, Opcode.AND, Opcode.SUB]
+    for index in range(num_operations):
+        if rng.random() < memory_probability:
+            opcode = Opcode.LOAD if rng.random() < 0.7 else Opcode.STORE
+        else:
+            opcode = rng.choice(opcode_pool)
+        node_id = graph.add_node(opcode, name=f"op{index}")
+        arity = 1 if opcode is Opcode.LOAD else 2
+        for operand in rng.sample(producers, min(arity, len(producers))):
+            graph.add_edge(operand, node_id)
+        if opcode is not Opcode.STORE:
+            producers.append(node_id)
+    for vertex in graph.operation_nodes():
+        if graph.out_degree(vertex) and rng.random() < live_out_probability:
+            graph.set_live_out(vertex, True)
+    return graph
+
+
+#: Hypothesis strategy producing seeds for :func:`make_random_dag`.
+dag_seeds = st.integers(min_value=0, max_value=10_000)
+
+#: Strategy over the I/O constraint combinations used in the paper's domain.
+io_constraints = st.sampled_from(
+    [Constraints(max_inputs=2, max_outputs=1),
+     Constraints(max_inputs=3, max_outputs=1),
+     Constraints(max_inputs=3, max_outputs=2),
+     Constraints(max_inputs=4, max_outputs=2)]
+)

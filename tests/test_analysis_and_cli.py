@@ -1,0 +1,181 @@
+"""Tests for the analysis/reporting layer and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AlgorithmEntry,
+    agreement_check,
+    cluster_summary,
+    compare_on_suite,
+    count_cuts_by_constraint,
+    default_algorithms,
+    figure5_report,
+    format_table,
+    population_stats,
+    result_summary,
+    scatter_plot,
+)
+from repro.cli import build_parser, main
+from repro.core import Constraints, enumerate_cuts
+from repro.dfg.builder import diamond, linear_chain
+from repro.workloads import SuiteConfig, build_suite, size_cluster
+from repro.workloads.kernels import build_kernel
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return [diamond(), linear_chain(4), build_kernel("crc32_step")]
+
+
+@pytest.fixture(scope="module")
+def tiny_report(tiny_suite):
+    return compare_on_suite(
+        tiny_suite,
+        Constraints(max_inputs=3, max_outputs=2),
+        cluster_of=size_cluster,
+    )
+
+
+class TestComparison:
+    def test_measurements_cover_every_pair(self, tiny_report, tiny_suite):
+        algorithms = tiny_report.algorithms()
+        assert len(algorithms) == 2
+        assert len(tiny_report.measurements) == len(tiny_suite) * len(algorithms)
+        for measurement in tiny_report.measurements:
+            assert measurement.elapsed_seconds >= 0
+            assert measurement.cuts_found > 0
+            assert measurement.work_units > 0
+            assert measurement.cluster != ""
+
+    def test_paired_rows(self, tiny_report, tiny_suite):
+        rows = tiny_report.paired("poly-enum", "exhaustive-[15]")
+        assert len(rows) == len(tiny_suite)
+        for row in rows:
+            assert row["speed_ratio"] > 0
+            # The exhaustive baseline is complete; the polynomial algorithm may
+            # legitimately report slightly fewer cuts (see EXPERIMENTS.md).
+            assert row["poly-enum_cuts"] <= row["exhaustive-[15]_cuts"]
+
+    def test_custom_algorithm_entry(self, tiny_suite):
+        entries = [AlgorithmEntry("only-poly", lambda g, c: enumerate_cuts(g, c))]
+        report = compare_on_suite(tiny_suite, algorithms=entries)
+        assert report.algorithms() == ["only-poly"]
+
+    def test_agreement_check_passes(self, tiny_suite):
+        assert agreement_check(tiny_suite, Constraints(max_inputs=3, max_outputs=2)) == []
+
+    def test_default_algorithm_names(self):
+        names = [entry.name for entry in default_algorithms()]
+        assert names == ["poly-enum", "exhaustive-[15]"]
+
+
+class TestMetricsAndReporting:
+    def test_population_stats(self, tiny_suite):
+        result = enumerate_cuts(tiny_suite[0], Constraints(max_inputs=4, max_outputs=2))
+        stats = population_stats(result.cuts)
+        assert stats.total == len(result)
+        assert sum(stats.by_size.values()) == stats.total
+        assert sum(stats.by_num_inputs.values()) == stats.total
+        assert stats.max_size == max(cut.num_nodes for cut in result)
+        assert "cuts" in stats.summary()
+
+    def test_result_summary_text(self, tiny_suite):
+        result = enumerate_cuts(tiny_suite[0], Constraints(max_inputs=4, max_outputs=2))
+        text = result_summary(result)
+        assert result.graph_name in text
+        assert str(len(result)) in text
+
+    def test_count_cuts_by_constraint(self, tiny_suite):
+        results = {
+            "2/1": enumerate_cuts(tiny_suite[0], Constraints(max_inputs=2, max_outputs=1)),
+            "4/2": enumerate_cuts(tiny_suite[0], Constraints(max_inputs=4, max_outputs=2)),
+        }
+        rows = count_cuts_by_constraint(results)
+        assert [row["constraints"] for row in rows] == ["2/1", "4/2"]
+        assert rows[0]["cuts"] <= rows[1]["cuts"]
+
+    def test_format_table_alignment(self):
+        rows = [{"name": "a", "value": 1.0}, {"name": "bbbb", "value": 123456.0}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert format_table([]) == "(no data)"
+
+    def test_scatter_plot_contains_points_and_diagonal(self, tiny_report):
+        rows = tiny_report.paired("poly-enum", "exhaustive-[15]")
+        plot = scatter_plot(
+            rows, x_key="poly-enum_seconds", y_key="exhaustive-[15]_seconds"
+        )
+        assert "." in plot
+        assert "log10" in plot
+
+    def test_figure5_report(self, tiny_report):
+        text = figure5_report(tiny_report)
+        assert "Figure 5 reproduction" in text
+        assert "blocks where the polynomial algorithm is faster" in text
+
+    def test_cluster_summary(self, tiny_report):
+        rows = cluster_summary(tiny_report)
+        assert rows
+        for row in rows:
+            assert row["blocks"] >= 1
+            assert row["mean_seconds"] <= row["total_seconds"] + 1e-12
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["enumerate", "crc32_step", "--max-inputs", "3"])
+        assert args.command == "enumerate"
+        assert args.max_inputs == 3
+
+    def test_kernels_command(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "crc32_step" in out
+
+    def test_enumerate_command(self, capsys):
+        assert main(["enumerate", "crc32_step", "--show-cuts"]) == 0
+        out = capsys.readouterr().out
+        assert "cuts" in out
+        assert "Cut[" in out
+
+    def test_enumerate_exhaustive_algorithm(self, capsys):
+        assert main(["enumerate", "dct_butterfly", "--algorithm", "exhaustive"]) == 0
+        assert "exhaustive" in capsys.readouterr().out
+
+    def test_enumerate_json_file(self, tmp_path, capsys):
+        from repro.dfg.serialization import save
+
+        path = tmp_path / "graph.json"
+        save(diamond(), path)
+        assert main(["enumerate", str(path)]) == 0
+        assert "cuts" in capsys.readouterr().out
+
+    def test_unknown_target_fails(self):
+        with pytest.raises(SystemExit):
+            main(["enumerate", "no_such_kernel_or_file"])
+
+    def test_ise_command(self, capsys):
+        assert main(["ise", "crc32_step", "--max-instructions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "application speedup" in out
+
+    def test_generate_command(self, tmp_path, capsys):
+        output = tmp_path / "suite"
+        assert main([
+            "generate", str(output), "--blocks", "3", "--min-ops", "5", "--max-ops", "10",
+        ]) == 0
+        index = json.loads((output / "suite.json").read_text())
+        assert index["graphs"]
+
+    def test_compare_command_small(self, capsys):
+        assert main([
+            "compare", "--blocks", "2", "--min-ops", "5", "--max-ops", "10",
+            "--no-kernels", "--no-trees", "--max-inputs", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5 reproduction" in out

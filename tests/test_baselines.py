@@ -1,0 +1,124 @@
+"""Tests for the baseline enumerators (exhaustive, brute force, connected-only)."""
+
+import pytest
+from hypothesis import given
+
+from repro.baselines import (
+    count_excluded_by_technical_condition,
+    enumerate_connected_cuts,
+    enumerate_cuts_brute_force,
+    enumerate_cuts_exhaustive,
+)
+from repro.baselines.brute_force import MAX_CANDIDATES
+from repro.core import Constraints, EnumerationContext, enumerate_cuts
+from repro.dfg.builder import linear_chain
+from repro.workloads.synthetic import SyntheticBlockSpec, generate_basic_block
+from repro.workloads.trees import tree_dfg
+from tests.conftest import dag_seeds, make_random_dag
+
+
+class TestBruteForce:
+    def test_refuses_large_graphs(self):
+        spec = SyntheticBlockSpec(num_operations=MAX_CANDIDATES + 10, memory_fraction=0.0, seed=1)
+        graph = generate_basic_block(spec)
+        with pytest.raises(ValueError):
+            enumerate_cuts_brute_force(graph, Constraints())
+
+    def test_paper_semantics_is_subset(self, diamond_graph, default_constraints):
+        full = enumerate_cuts_brute_force(diamond_graph, default_constraints).node_sets()
+        paper = enumerate_cuts_brute_force(
+            diamond_graph, default_constraints, paper_semantics=True
+        ).node_sets()
+        assert paper <= full
+
+    def test_exclusion_statistics(self, paper_figure1_graph, default_constraints):
+        stats = count_excluded_by_technical_condition(
+            paper_figure1_graph, default_constraints
+        )
+        assert stats["paper_enumerable"] <= stats["technical_condition"] <= stats["valid_cuts"]
+        assert stats["valid_cuts"] > 0
+
+    def test_every_oracle_cut_is_valid(self, loads_graph, default_constraints):
+        ctx = EnumerationContext.build(loads_graph, default_constraints)
+        result = enumerate_cuts_brute_force(loads_graph, default_constraints, context=ctx)
+        forbidden = loads_graph.forbidden_nodes()
+        for cut in result:
+            assert not (cut.nodes & forbidden)
+            assert cut.num_inputs <= default_constraints.max_inputs
+            assert cut.num_outputs <= default_constraints.max_outputs
+            assert cut.is_convex(ctx)
+
+
+class TestExhaustive:
+    def test_matches_oracle_on_fixtures(self, diamond_graph, loads_graph, paper_figure1_graph):
+        constraints = Constraints(max_inputs=4, max_outputs=2)
+        for graph in (diamond_graph, loads_graph, paper_figure1_graph):
+            oracle = enumerate_cuts_brute_force(graph, constraints).node_sets()
+            exhaustive = enumerate_cuts_exhaustive(graph, constraints).node_sets()
+            assert exhaustive == oracle
+
+    def test_pruning_flag_does_not_change_result(self, loads_graph, default_constraints):
+        with_pruning = enumerate_cuts_exhaustive(
+            loads_graph, default_constraints, use_pruning=True
+        )
+        without_pruning = enumerate_cuts_exhaustive(
+            loads_graph, default_constraints, use_pruning=False
+        )
+        assert with_pruning.node_sets() == without_pruning.node_sets()
+        assert "no-pruning" in without_pruning.algorithm
+
+    def test_pruning_reduces_search_nodes(self):
+        graph = tree_dfg(3)
+        constraints = Constraints(max_inputs=4, max_outputs=2)
+        pruned = enumerate_cuts_exhaustive(graph, constraints, use_pruning=True)
+        unpruned = enumerate_cuts_exhaustive(graph, constraints, use_pruning=False)
+        assert pruned.stats.pick_output_calls < unpruned.stats.pick_output_calls
+
+    def test_search_nodes_grow_fast_on_trees(self):
+        """The tree-shaped graphs are the worst case for the exhaustive search
+        (Figure 4): explored search nodes grow much faster than the number of
+        valid cuts."""
+        constraints = Constraints(max_inputs=4, max_outputs=2)
+        small = enumerate_cuts_exhaustive(tree_dfg(2), constraints)
+        large = enumerate_cuts_exhaustive(tree_dfg(4), constraints)
+        cuts_growth = large.stats.cuts_found / max(1, small.stats.cuts_found)
+        search_growth = large.stats.pick_output_calls / max(1, small.stats.pick_output_calls)
+        assert search_growth > cuts_growth
+
+    @given(dag_seeds)
+    def test_random_agreement_with_oracle(self, seed):
+        graph = make_random_dag(seed, num_operations=7)
+        constraints = Constraints(max_inputs=3, max_outputs=2)
+        oracle = enumerate_cuts_brute_force(graph, constraints).node_sets()
+        exhaustive = enumerate_cuts_exhaustive(graph, constraints).node_sets()
+        assert exhaustive == oracle
+
+
+class TestConnectedOnly:
+    def test_single_output_cones_match_filtered_oracle(self, diamond_graph):
+        constraints = Constraints(max_inputs=4, max_outputs=1)
+        ctx = EnumerationContext.build(
+            diamond_graph,
+            Constraints(max_inputs=4, max_outputs=1, connected_only=True),
+        )
+        connected = enumerate_connected_cuts(diamond_graph, constraints).node_sets()
+        oracle = enumerate_cuts_brute_force(
+            diamond_graph,
+            Constraints(max_inputs=4, max_outputs=1, connected_only=True),
+            context=ctx,
+        ).node_sets()
+        assert connected == oracle
+
+    def test_multi_output_falls_back_to_core(self, paper_figure1_graph):
+        constraints = Constraints(max_inputs=4, max_outputs=2)
+        connected = enumerate_connected_cuts(paper_figure1_graph, constraints)
+        assert connected.algorithm == "connected-only"
+        full = enumerate_cuts(paper_figure1_graph, constraints).node_sets()
+        assert connected.node_sets() <= full
+
+    def test_chain_cones(self):
+        graph = linear_chain(4)
+        constraints = Constraints(max_inputs=4, max_outputs=1)
+        result = enumerate_connected_cuts(graph, constraints)
+        # On a chain every contiguous segment is a connected single-output cut.
+        assert len(result) == 4 * 5 // 2

@@ -1,0 +1,167 @@
+"""Tests for Constraints, EnumerationContext and the Cut model."""
+
+import pytest
+
+from repro.core import Constraints, Cut, EnumerationContext, PAPER_DEFAULT_CONSTRAINTS
+from repro.core.cut import build_body_mask, count_mask
+from repro.core.pruning import FULL_PRUNING, NO_PRUNING, PruningConfig
+from repro.dfg import Opcode
+from repro.dfg.reachability import mask_from_ids
+
+
+class TestConstraints:
+    def test_defaults_match_paper(self):
+        assert PAPER_DEFAULT_CONSTRAINTS.max_inputs == 4
+        assert PAPER_DEFAULT_CONSTRAINTS.max_outputs == 2
+        assert not PAPER_DEFAULT_CONSTRAINTS.allow_memory_ops
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            Constraints(max_inputs=0)
+        with pytest.raises(ValueError):
+            Constraints(max_outputs=0)
+        with pytest.raises(ValueError):
+            Constraints(max_depth=0)
+
+    def test_with_io_and_with_forbidden(self):
+        base = Constraints(max_inputs=4, max_outputs=2, connected_only=True)
+        changed = base.with_io(2, 1)
+        assert (changed.max_inputs, changed.max_outputs) == (2, 1)
+        assert changed.connected_only  # preserved
+        extended = base.with_forbidden([3, 5])
+        assert extended.extra_forbidden == frozenset({3, 5})
+
+    def test_describe_mentions_every_active_option(self):
+        text = Constraints(
+            max_inputs=3, max_outputs=1, allow_memory_ops=True,
+            connected_only=True, max_depth=4, extra_forbidden=frozenset({7}),
+        ).describe()
+        for token in ("Nin=3", "Nout=1", "memory", "connected", "depth", "7"):
+            assert token in text
+
+    def test_hashable_and_frozen(self):
+        constraints = Constraints()
+        with pytest.raises(AttributeError):
+            constraints.max_inputs = 5  # type: ignore[misc]
+        assert hash(constraints) == hash(Constraints())
+
+
+class TestPruningConfig:
+    def test_disable_returns_copy(self):
+        config = FULL_PRUNING.disable("output_output")
+        assert not config.output_output
+        assert FULL_PRUNING.output_output
+
+    def test_disable_unknown_flag(self):
+        with pytest.raises(AttributeError):
+            FULL_PRUNING.disable("does_not_exist")
+
+    def test_enabled_names(self):
+        assert "output_input" in FULL_PRUNING.enabled_names()
+        assert NO_PRUNING.enabled_names() == []
+
+
+class TestContext:
+    def test_build_collects_forbidden_and_candidates(self, loads_graph):
+        ctx = EnumerationContext.build(loads_graph, Constraints())
+        for vertex in loads_graph.forbidden_nodes():
+            assert ctx.is_forbidden(vertex)
+            assert not ctx.is_candidate(vertex)
+        for vertex in loads_graph.candidate_nodes():
+            assert ctx.is_candidate(vertex)
+        assert ctx.source == ctx.augmented.source
+        assert ctx.sink == ctx.augmented.sink
+
+    def test_allow_memory_ops_unfreezes_loads(self, loads_graph):
+        ctx = EnumerationContext.build(
+            loads_graph, Constraints(allow_memory_ops=True)
+        )
+        loads = [
+            v for v in loads_graph.node_ids()
+            if loads_graph.node(v).opcode is Opcode.LOAD
+        ]
+        for vertex in loads:
+            assert ctx.is_candidate(vertex)
+
+    def test_extra_forbidden_applied(self, diamond_graph):
+        victim = diamond_graph.operation_nodes()[0]
+        ctx = EnumerationContext.build(
+            diamond_graph, Constraints(extra_forbidden=frozenset({victim}))
+        )
+        assert ctx.is_forbidden(victim)
+
+    def test_original_graph_untouched(self, loads_graph):
+        EnumerationContext.build(loads_graph, Constraints(allow_memory_ops=True))
+        # The original graph keeps its default forbidden flags.
+        assert loads_graph.forbidden_nodes()
+
+
+class TestCut:
+    def test_from_nodes_computes_io(self, diamond_context):
+        ops = diamond_context.original_graph.operation_nodes()
+        cut = Cut.from_nodes(diamond_context, ops)
+        assert cut.num_nodes == len(ops)
+        assert cut.inputs == set(diamond_context.original_graph.external_inputs())
+        assert ops[-1] in cut.outputs
+
+    def test_equality_and_hash_ignore_context(self, diamond_context):
+        ops = diamond_context.original_graph.operation_nodes()
+        first = Cut.from_nodes(diamond_context, ops[:2])
+        second = Cut.from_nodes(diamond_context, ops[:2])
+        assert first == second
+        assert len({first, second}) == 1
+
+    def test_convexity(self, diamond_context):
+        ops = diamond_context.original_graph.operation_nodes()
+        top, left, right, bottom = ops
+        assert Cut.from_nodes(diamond_context, [top, left, right, bottom]).is_convex()
+        assert not Cut.from_nodes(diamond_context, [top, bottom]).is_convex()
+
+    def test_inputs_to_output_matches_definition3(self, diamond_context):
+        graph = diamond_context.original_graph
+        ops = graph.operation_nodes()
+        top, left, right, bottom = ops
+        cut = Cut.from_nodes(diamond_context, [left, right, bottom])
+        # left is fed by top (and the shift constant); right by top and b.
+        inputs_left_path = cut.inputs_to_output(bottom)
+        assert top in inputs_left_path
+        assert inputs_left_path <= cut.inputs
+
+    def test_is_connected_single_output(self, diamond_context):
+        ops = diamond_context.original_graph.operation_nodes()
+        cut = Cut.from_nodes(diamond_context, ops)
+        assert cut.is_connected()
+
+    def test_depth_of_full_diamond(self, diamond_context):
+        ops = diamond_context.original_graph.operation_nodes()
+        cut = Cut.from_nodes(diamond_context, ops)
+        assert cut.depth() == 3  # top -> left/right -> bottom
+
+    def test_describe_and_helpers(self, diamond_context):
+        ops = diamond_context.original_graph.operation_nodes()
+        cut = Cut.from_nodes(diamond_context, ops[:2])
+        text = cut.describe()
+        assert "Cut[" in text
+        assert cut.contains(ops[0])
+        assert not cut.contains(999)
+        other = Cut.from_nodes(diamond_context, ops[1:3])
+        assert cut.overlaps(other)
+        assert cut.sorted_nodes() == tuple(sorted(ops[:2]))
+
+    def test_requires_context_for_structural_queries(self, diamond_context):
+        cut = Cut(nodes=frozenset({1}), inputs=frozenset(), outputs=frozenset())
+        with pytest.raises(ValueError):
+            cut.is_convex()
+
+    def test_build_body_mask_reconstruction(self, diamond_context):
+        # Theorem 3 construction: body from inputs/outputs masks.
+        graph = diamond_context.original_graph
+        ops = graph.operation_nodes()
+        cut = Cut.from_nodes(diamond_context, ops)
+        body = build_body_mask(
+            diamond_context,
+            mask_from_ids(cut.inputs),
+            mask_from_ids(cut.outputs),
+        )
+        assert body == cut.node_mask()
+        assert count_mask(body) == cut.num_nodes

@@ -1,0 +1,132 @@
+"""Property-based cross-checks between every enumerator and the brute-force oracle.
+
+These are the strongest correctness tests of the library: on random small
+DAGs with forbidden vertices and all the I/O constraint combinations of the
+paper's domain,
+
+* the pruned exhaustive baseline must equal the oracle exactly (it claims
+  completeness);
+* both polynomial algorithms must be *sound* (every reported cut is valid) and
+  must find at least every cut the paper's construction can express (valid +
+  technical condition + I/O-identified);
+* switching pruning rules on or off must not change the incremental
+  algorithm's result.
+"""
+
+from hypothesis import given, settings
+import pytest
+
+from repro.baselines import enumerate_cuts_brute_force, enumerate_cuts_exhaustive
+from repro.core import (
+    Constraints,
+    EnumerationContext,
+    FULL_PRUNING,
+    NO_PRUNING,
+    PruningConfig,
+    enumerate_cuts,
+    enumerate_cuts_basic,
+)
+from tests.conftest import dag_seeds, io_constraints, make_random_dag
+
+
+@given(dag_seeds, io_constraints)
+def test_exhaustive_baseline_equals_oracle(seed, constraints):
+    graph = make_random_dag(seed)
+    oracle = enumerate_cuts_brute_force(graph, constraints).node_sets()
+    exhaustive = enumerate_cuts_exhaustive(graph, constraints).node_sets()
+    assert exhaustive == oracle
+
+
+@given(dag_seeds, io_constraints)
+def test_incremental_sound_and_paper_complete(seed, constraints):
+    graph = make_random_dag(seed)
+    ctx = EnumerationContext.build(graph, constraints)
+    oracle = enumerate_cuts_brute_force(graph, constraints, context=ctx).node_sets()
+    paper_oracle = enumerate_cuts_brute_force(
+        graph, constraints, context=ctx, paper_semantics=True
+    ).node_sets()
+    result = enumerate_cuts(graph, constraints, context=ctx).node_sets()
+    assert result <= oracle, "incremental algorithm reported an invalid cut"
+    assert result >= paper_oracle, "incremental algorithm missed a paper-enumerable cut"
+
+
+@given(dag_seeds, io_constraints)
+def test_basic_sound_and_paper_complete(seed, constraints):
+    graph = make_random_dag(seed)
+    ctx = EnumerationContext.build(graph, constraints)
+    oracle = enumerate_cuts_brute_force(graph, constraints, context=ctx).node_sets()
+    paper_oracle = enumerate_cuts_brute_force(
+        graph, constraints, context=ctx, paper_semantics=True
+    ).node_sets()
+    result = enumerate_cuts_basic(graph, constraints, context=ctx).node_sets()
+    assert result <= oracle, "basic algorithm reported an invalid cut"
+    assert result >= paper_oracle, "basic algorithm missed a paper-enumerable cut"
+
+
+@given(dag_seeds)
+def test_pruning_configurations_respect_contract(seed):
+    """Pruning never breaks soundness nor paper-completeness.
+
+    The relaxed internal-output acceptance that comes with the output-output
+    pruning can legitimately report a few extra (still valid) cuts that the
+    strict acceptance does not, and vice versa — the guaranteed envelope for
+    every configuration is ``paper-enumerable ⊆ result ⊆ all valid cuts``.
+    """
+    graph = make_random_dag(seed)
+    constraints = Constraints(max_inputs=4, max_outputs=2)
+    ctx = EnumerationContext.build(graph, constraints)
+    oracle = enumerate_cuts_brute_force(graph, constraints, context=ctx).node_sets()
+    paper_oracle = enumerate_cuts_brute_force(
+        graph, constraints, context=ctx, paper_semantics=True
+    ).node_sets()
+    for pruning in (FULL_PRUNING, NO_PRUNING):
+        result = enumerate_cuts(graph, constraints, pruning=pruning, context=ctx).node_sets()
+        assert paper_oracle <= result <= oracle
+
+
+@pytest.mark.parametrize(
+    "flag",
+    ["output_output", "prune_while_building", "output_input", "input_input", "connected_recovery"],
+)
+@settings(max_examples=10)
+@given(seed=dag_seeds)
+def test_each_pruning_rule_respects_contract(flag, seed):
+    import dataclasses
+
+    graph = make_random_dag(seed)
+    constraints = Constraints(max_inputs=3, max_outputs=2)
+    ctx = EnumerationContext.build(graph, constraints)
+    oracle = enumerate_cuts_brute_force(graph, constraints, context=ctx).node_sets()
+    paper_oracle = enumerate_cuts_brute_force(
+        graph, constraints, context=ctx, paper_semantics=True
+    ).node_sets()
+    for pruning in (
+        dataclasses.replace(NO_PRUNING, **{flag: True}),
+        FULL_PRUNING.disable(flag),
+    ):
+        result = enumerate_cuts(graph, constraints, pruning=pruning, context=ctx).node_sets()
+        assert paper_oracle <= result <= oracle
+
+
+@given(dag_seeds, io_constraints)
+def test_connected_constraint_matches_filtered_oracle(seed, constraints):
+    graph = make_random_dag(seed, num_operations=7)
+    connected_constraints = Constraints(
+        max_inputs=constraints.max_inputs,
+        max_outputs=constraints.max_outputs,
+        connected_only=True,
+    )
+    ctx = EnumerationContext.build(graph, connected_constraints)
+    oracle = enumerate_cuts_brute_force(
+        graph, connected_constraints, context=ctx
+    ).node_sets()
+    result = enumerate_cuts(graph, connected_constraints, context=ctx).node_sets()
+    assert result <= oracle
+
+
+@given(dag_seeds)
+def test_every_reported_cut_unique(seed):
+    graph = make_random_dag(seed)
+    result = enumerate_cuts(graph, Constraints(max_inputs=4, max_outputs=2))
+    node_sets = [cut.nodes for cut in result]
+    assert len(node_sets) == len(set(node_sets))

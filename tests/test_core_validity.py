@@ -1,0 +1,171 @@
+"""Tests for the cut validity predicates, including the paper's Figure 1 examples."""
+
+import pytest
+
+from repro.core import Constraints, EnumerationContext
+from repro.core.validity import (
+    check_cut_mask,
+    enumerable_by_paper_algorithm,
+    is_io_identified,
+    is_valid_cut_mask,
+    satisfies_technical_condition,
+)
+from repro.dfg.reachability import mask_from_ids
+
+
+@pytest.fixture
+def fig1(paper_figure1_graph):
+    """Context + named vertex ids of the paper's Figure 1 graph."""
+    ctx = EnumerationContext.build(
+        paper_figure1_graph, Constraints(max_inputs=4, max_outputs=2)
+    )
+    names = {
+        paper_figure1_graph.node(v).name: v
+        for v in paper_figure1_graph.node_ids()
+    }
+    return ctx, names
+
+
+class TestFigure1:
+    def test_figure1b_valid_one_output_cut(self, fig1):
+        ctx, names = fig1
+        # Figure 1(b): the cut containing only Y, with inputs {N, B, C}.
+        mask = mask_from_ids([names["Y"]])
+        report = check_cut_mask(ctx, mask)
+        assert report.valid
+        assert report.num_inputs == 3
+        assert report.num_outputs == 1
+        assert satisfies_technical_condition(ctx, mask)
+        assert is_io_identified(ctx, mask)
+
+    def test_figure1c_rejected_under_one_output(self, paper_figure1_graph):
+        # Figure 1(c): {N, X} would be chosen with output X, but N is an
+        # additional (internal) output, so under Nout=1 the cut is invalid.
+        ctx = EnumerationContext.build(
+            paper_figure1_graph, Constraints(max_inputs=4, max_outputs=1)
+        )
+        names = {
+            paper_figure1_graph.node(v).name: v
+            for v in paper_figure1_graph.node_ids()
+        }
+        mask = mask_from_ids([names["N"], names["X"]])
+        report = check_cut_mask(ctx, mask)
+        assert report.num_outputs == 2
+        assert report.too_many_outputs
+        assert not report.valid
+
+    def test_figure1d_valid_two_output_cut(self, fig1):
+        ctx, names = fig1
+        # Figure 1(d): {N, X, Y} with inputs {A, B, C} and outputs {X, Y}.
+        mask = mask_from_ids([names["N"], names["X"], names["Y"]])
+        report = check_cut_mask(ctx, mask)
+        assert report.valid
+        assert report.num_inputs == 3
+        assert report.num_outputs == 2
+        assert satisfies_technical_condition(ctx, mask)
+        assert is_io_identified(ctx, mask)
+        assert enumerable_by_paper_algorithm(ctx, mask)
+
+    def test_whole_graph_cut(self, fig1):
+        ctx, names = fig1
+        mask = mask_from_ids([names["N"], names["X"], names["Y"]])
+        assert is_valid_cut_mask(ctx, mask)
+
+
+class TestValidityChecks:
+    def test_empty_cut_invalid(self, diamond_context):
+        report = check_cut_mask(diamond_context, 0)
+        assert report.empty and not report.valid
+
+    def test_forbidden_vertex_invalid(self, loads_graph):
+        ctx = EnumerationContext.build(loads_graph, Constraints())
+        load = [
+            v for v in loads_graph.node_ids()
+            if loads_graph.node(v).opcode.value == "load"
+        ][0]
+        report = check_cut_mask(ctx, mask_from_ids([load]))
+        assert report.has_forbidden and not report.valid
+
+    def test_non_convex_invalid(self, diamond_context):
+        ops = diamond_context.original_graph.operation_nodes()
+        report = check_cut_mask(diamond_context, mask_from_ids([ops[0], ops[-1]]))
+        assert not report.convex and not report.valid
+
+    def test_input_budget_enforced(self, paper_figure1_graph):
+        ctx = EnumerationContext.build(
+            paper_figure1_graph, Constraints(max_inputs=2, max_outputs=2)
+        )
+        names = {
+            paper_figure1_graph.node(v).name: v
+            for v in paper_figure1_graph.node_ids()
+        }
+        mask = mask_from_ids([names["Y"]])  # needs 3 inputs
+        report = check_cut_mask(ctx, mask)
+        assert report.too_many_inputs and not report.valid
+
+    def test_depth_constraint(self, diamond_context, diamond_graph):
+        ctx = EnumerationContext.build(diamond_graph, Constraints(max_depth=2))
+        ops = diamond_graph.operation_nodes()
+        full = mask_from_ids(ops)
+        assert check_cut_mask(ctx, full).too_deep
+        small = mask_from_ids(ops[:2])
+        assert not check_cut_mask(ctx, small).too_deep
+
+    def test_connected_only_constraint(self, paper_figure1_graph):
+        ctx = EnumerationContext.build(
+            paper_figure1_graph,
+            Constraints(max_inputs=4, max_outputs=2, connected_only=True),
+        )
+        names = {
+            paper_figure1_graph.node(v).name: v
+            for v in paper_figure1_graph.node_ids()
+        }
+        # {X, Y} without N: X is fed by A/N, Y by N/B/C -> they share input N,
+        # so the cut is connected per Definition 4.
+        mask = mask_from_ids([names["X"], names["Y"]])
+        report = check_cut_mask(ctx, mask)
+        assert report.valid
+
+    def test_technical_condition_violation(self):
+        # Construct the situation discussed after Definition 2 in the paper:
+        # an input whose every root path crosses another input.
+        from repro.dfg import DFGBuilder, Opcode
+
+        builder = DFGBuilder("tech_violation")
+        e = builder.input("e")
+        i = builder.add(e, builder.const("c"), name="i")
+        x = builder.op(Opcode.NOT, i, name="x")
+        p = builder.op(Opcode.NOT, x, name="p")
+        w = builder.add(p, i, name="w")
+        o = builder.add(w, p, name="o", live_out=True)
+        builder.mark_live_out(o)
+        graph = builder.build()
+        ctx = EnumerationContext.build(graph, Constraints(max_inputs=4, max_outputs=2))
+        # The cut {w, o}: inputs {i, p}; every root path to p goes through i,
+        # but p has no private path avoiding i.
+        mask = mask_from_ids([w, o])
+        assert is_valid_cut_mask(ctx, mask)
+        assert not satisfies_technical_condition(ctx, mask)
+        assert not enumerable_by_paper_algorithm(ctx, mask)
+
+    def test_io_identified_counterexample(self):
+        # A valid convex cut where one input is reachable from another input
+        # through a vertex outside the cut is not Theorem-3 reconstructible.
+        from repro.dfg import DFGBuilder
+
+        builder = DFGBuilder("io_unidentified")
+        e = builder.input("e")
+        e2 = builder.input("e2")
+        i = builder.add(e, builder.const("c"), name="i")
+        x = builder.add(i, e, name="x")
+        x2 = builder.add(e2, e2, name="x2")
+        p = builder.add(x, x2, name="p")
+        w = builder.add(p, i, name="w")
+        o = builder.add(w, builder.const("k"), name="o", live_out=True)
+        builder.mark_live_out(o)
+        graph = builder.build()
+        ctx = EnumerationContext.build(graph, Constraints(max_inputs=4, max_outputs=2))
+        mask = mask_from_ids([w, o])
+        assert is_valid_cut_mask(ctx, mask)
+        assert satisfies_technical_condition(ctx, mask)
+        assert not is_io_identified(ctx, mask)

@@ -1,0 +1,166 @@
+"""Tests for the opcode table, DFGNode records and the DFGBuilder."""
+
+import pytest
+
+from repro.dfg import (
+    ALWAYS_FORBIDDEN_OPCODES,
+    DEFAULT_FORBIDDEN_OPCODES,
+    DFGBuilder,
+    Opcode,
+    all_operation_opcodes,
+    area_cost,
+    hardware_latency,
+    is_forbidden_by_default,
+    is_memory,
+    opcode_info,
+    software_latency,
+)
+from repro.dfg.builder import diamond, linear_chain
+from repro.dfg.node import DFGNode
+from repro.dfg.opcodes import OpcodeClass, is_artificial, is_external
+
+
+class TestOpcodeTable:
+    def test_every_opcode_has_info(self):
+        for opcode in Opcode:
+            info = opcode_info(opcode)
+            assert info.sw_latency >= 0
+            assert info.hw_latency >= 0
+            assert info.area >= 0
+
+    def test_memory_classification(self):
+        assert is_memory(Opcode.LOAD)
+        assert is_memory(Opcode.STORE)
+        assert not is_memory(Opcode.ADD)
+
+    def test_always_forbidden_subset_of_default_forbidden(self):
+        assert ALWAYS_FORBIDDEN_OPCODES <= DEFAULT_FORBIDDEN_OPCODES
+
+    def test_memory_is_default_forbidden_but_not_always(self):
+        assert Opcode.LOAD in DEFAULT_FORBIDDEN_OPCODES
+        assert Opcode.LOAD not in ALWAYS_FORBIDDEN_OPCODES
+
+    def test_operation_opcodes_exclude_externals(self):
+        operations = all_operation_opcodes()
+        assert Opcode.ADD in operations
+        assert Opcode.INPUT not in operations
+        assert Opcode.SOURCE not in operations
+
+    def test_hardware_cheaper_than_software_for_logic(self):
+        # The premise of ISE: chaining cheap operators saves cycles.
+        for opcode in (Opcode.ADD, Opcode.XOR, Opcode.AND, Opcode.SHL):
+            assert hardware_latency(opcode) < software_latency(opcode)
+
+    def test_multiplier_larger_than_adder(self):
+        assert area_cost(Opcode.MUL) > area_cost(Opcode.ADD)
+
+    def test_external_and_artificial_classification(self):
+        assert is_external(Opcode.INPUT)
+        assert is_external(Opcode.CONSTANT)
+        assert is_artificial(Opcode.SOURCE)
+        assert is_artificial(Opcode.SINK)
+        assert opcode_info(Opcode.SOURCE).opclass is OpcodeClass.ARTIFICIAL
+
+    def test_default_forbidden_predicate(self):
+        assert is_forbidden_by_default(Opcode.LOAD)
+        assert is_forbidden_by_default(Opcode.BRANCH)
+        assert not is_forbidden_by_default(Opcode.MUL)
+
+
+class TestDFGNode:
+    def test_label_uses_name_when_present(self):
+        node = DFGNode(3, Opcode.ADD, name="sum")
+        assert node.label == "sum"
+        anonymous = DFGNode(3, Opcode.ADD)
+        assert anonymous.label == "add3"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            DFGNode(-1, Opcode.ADD)
+
+    def test_opcode_type_checked(self):
+        with pytest.raises(TypeError):
+            DFGNode(0, "add")  # type: ignore[arg-type]
+
+    def test_latency_accessors(self):
+        node = DFGNode(0, Opcode.MUL)
+        assert node.sw_latency == software_latency(Opcode.MUL)
+        assert node.hw_latency == hardware_latency(Opcode.MUL)
+
+    def test_copy_independent(self):
+        node = DFGNode(0, Opcode.ADD, attributes={"k": 1})
+        clone = node.copy()
+        clone.attributes["k"] = 2
+        assert node.attributes["k"] == 1
+
+    def test_is_operation_flags(self):
+        assert DFGNode(0, Opcode.ADD).is_operation
+        assert not DFGNode(0, Opcode.INPUT).is_operation
+        assert not DFGNode(0, Opcode.SINK).is_operation
+        assert DFGNode(0, Opcode.INPUT).is_external
+        assert DFGNode(0, Opcode.SINK).is_artificial
+
+
+class TestBuilder:
+    def test_expression_building(self):
+        builder = DFGBuilder("expr")
+        a, b = builder.inputs("a", "b")
+        s = builder.add(a, b)
+        out = builder.xor(s, b, live_out=True)
+        graph = builder.build()
+        assert graph.num_nodes == 4
+        assert graph.has_edge(a, s)
+        assert graph.has_edge(s, out)
+        assert graph.node(out).live_out
+
+    def test_load_store_forbidden(self):
+        builder = DFGBuilder()
+        addr = builder.input("addr")
+        value = builder.load(addr)
+        builder.store(addr, value)
+        graph = builder.build()
+        loads = [v for v in graph.node_ids() if graph.node(v).opcode is Opcode.LOAD]
+        stores = [v for v in graph.node_ids() if graph.node(v).opcode is Opcode.STORE]
+        assert all(graph.node(v).forbidden for v in loads + stores)
+
+    def test_mark_helpers(self):
+        builder = DFGBuilder()
+        a = builder.input("a")
+        x = builder.add(a, builder.const("1"))
+        y = builder.add(x, a)
+        builder.mark_live_out(y)
+        builder.mark_forbidden(x)
+        graph = builder.build()
+        assert graph.node(y).live_out
+        assert graph.node(x).forbidden
+
+    def test_all_shorthands_produce_expected_opcodes(self):
+        builder = DFGBuilder()
+        a, b = builder.inputs("a", "b")
+        expectations = {
+            builder.add(a, b): Opcode.ADD,
+            builder.sub(a, b): Opcode.SUB,
+            builder.mul(a, b): Opcode.MUL,
+            builder.xor(a, b): Opcode.XOR,
+            builder.and_(a, b): Opcode.AND,
+            builder.or_(a, b): Opcode.OR,
+            builder.shl(a, b): Opcode.SHL,
+            builder.shr(a, b): Opcode.SHR,
+        }
+        graph = builder.graph
+        for node_id, opcode in expectations.items():
+            assert graph.node(node_id).opcode is opcode
+
+    def test_linear_chain_structure(self):
+        graph = linear_chain(4)
+        assert len(graph.operation_nodes()) == 4
+        assert graph.critical_path_length() == 4
+
+    def test_linear_chain_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            linear_chain(0)
+
+    def test_diamond_has_four_operations(self):
+        graph = diamond()
+        assert len(graph.operation_nodes()) == 4
+        assert graph.is_dag()

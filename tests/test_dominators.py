@@ -1,0 +1,184 @@
+"""Tests for the dominator infrastructure.
+
+The Lengauer–Tarjan implementation is the performance-critical kernel of the
+whole reproduction, so it is cross-checked three ways: against the iterative
+Cooper–Harvey–Kennedy algorithm, against ``networkx.immediate_dominators``,
+and on hand-computable graphs.
+"""
+
+import pytest
+from hypothesis import given
+
+import networkx as nx
+
+from repro.dfg import DataFlowGraph, Opcode, augment
+from repro.dfg.reachability import mask_from_ids
+from repro.dominators import (
+    DominatorTree,
+    dominates,
+    dominator_tree_of,
+    immediate_dominators,
+    immediate_dominators_iterative,
+    immediate_postdominators,
+    postdominator_tree_of,
+    strict_dominators,
+)
+from tests.conftest import dag_seeds, make_random_dag
+
+
+def _augmented_successors(graph):
+    return [list(graph.successors(v)) for v in graph.node_ids()]
+
+
+class TestLengauerTarjan:
+    def test_chain(self):
+        # 0 -> 1 -> 2 -> 3
+        succs = [[1], [2], [3], []]
+        idom = immediate_dominators(4, succs, root=0)
+        assert idom == [0, 0, 1, 2]
+
+    def test_diamond_cfg(self):
+        # 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: idom(3) == 0
+        succs = [[1, 2], [3], [3], []]
+        idom = immediate_dominators(4, succs, root=0)
+        assert idom[3] == 0
+        assert idom[1] == 0 and idom[2] == 0
+
+    def test_unreachable_nodes_have_none(self):
+        succs = [[1], [], [1]]  # vertex 2 unreachable from 0
+        idom = immediate_dominators(3, succs, root=0)
+        assert idom[2] is None
+        assert idom[1] == 0
+
+    def test_removed_mask_hides_vertices(self):
+        # 0 -> 1 -> 3 and 0 -> 2 -> 3; removing 1 makes 2 a dominator of 3.
+        succs = [[1, 2], [3], [3], []]
+        idom = immediate_dominators(4, succs, root=0, removed_mask=1 << 1)
+        assert idom[1] is None
+        assert idom[3] == 2
+
+    def test_removed_root_rejected(self):
+        with pytest.raises(ValueError):
+            immediate_dominators(2, [[1], []], root=0, removed_mask=1)
+
+    def test_strict_dominators_order(self):
+        succs = [[1], [2], [3], []]
+        idom = immediate_dominators(4, succs, root=0)
+        assert strict_dominators(idom, 3, root=0) == [2, 1, 0]
+        assert strict_dominators(idom, 0, root=0) == [0]
+
+    def test_dominates_predicate(self):
+        succs = [[1, 2], [3], [3], []]
+        idom = immediate_dominators(4, succs, root=0)
+        assert dominates(idom, 0, 3)
+        assert dominates(idom, 3, 3)
+        assert not dominates(idom, 1, 3)
+
+    @given(dag_seeds)
+    def test_matches_networkx_and_iterative(self, seed):
+        graph = make_random_dag(seed, num_operations=12)
+        augmented = augment(graph)
+        succs = _augmented_successors(augmented.graph)
+        n = augmented.graph.num_nodes
+        root = augmented.source
+
+        lt = immediate_dominators(n, succs, root)
+        iterative = immediate_dominators_iterative(n, succs, root)
+        assert lt == iterative
+
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(range(n))
+        nx_graph.add_edges_from(augmented.graph.edges())
+        expected = nx.immediate_dominators(nx_graph, root)
+        for vertex in range(n):
+            if vertex == root:
+                assert lt[vertex] == root
+            elif vertex in expected:
+                assert lt[vertex] == expected[vertex]
+            else:
+                assert lt[vertex] is None
+
+    @given(dag_seeds)
+    def test_reduced_graph_matches_networkx(self, seed):
+        graph = make_random_dag(seed, num_operations=10)
+        augmented = augment(graph)
+        succs = _augmented_successors(augmented.graph)
+        n = augmented.graph.num_nodes
+        root = augmented.source
+        # Remove two arbitrary operation vertices and compare with networkx on
+        # the explicitly reduced graph.
+        operations = graph.operation_nodes()
+        removed = operations[: min(2, len(operations))]
+        removed_mask = mask_from_ids(removed)
+        lt = immediate_dominators(n, succs, root, removed_mask=removed_mask)
+
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(v for v in range(n) if v not in removed)
+        nx_graph.add_edges_from(
+            (s, d) for s, d in augmented.graph.edges() if s not in removed and d not in removed
+        )
+        expected = nx.immediate_dominators(nx_graph, root)
+        for vertex in range(n):
+            if vertex == root:
+                assert lt[vertex] == root
+            elif vertex in removed:
+                assert lt[vertex] is None
+            elif vertex in expected:
+                assert lt[vertex] == expected[vertex]
+            else:
+                assert lt[vertex] is None
+
+
+class TestDominatorTree:
+    def test_constant_time_queries_match_walk(self, diamond_graph):
+        augmented = augment(diamond_graph)
+        tree = dominator_tree_of(augmented)
+        idom = tree.as_idom_list()
+        for a in range(augmented.graph.num_nodes):
+            for b in range(augmented.graph.num_nodes):
+                assert tree.dominates(a, b) == dominates(idom, a, b)
+
+    def test_depth_and_children(self):
+        succs = [[1], [2], [3], []]
+        tree = DominatorTree(immediate_dominators(4, succs, 0), root=0)
+        assert tree.depth(0) == 0
+        assert tree.depth(3) == 3
+        assert tree.children(1) == (2,)
+        assert list(tree.ancestors(3)) == [2, 1, 0]
+
+    def test_unreachable_vertex(self):
+        succs = [[1], [], []]
+        tree = DominatorTree(immediate_dominators(3, succs, 0), root=0)
+        assert not tree.is_reachable(2)
+        assert not tree.dominates(0, 2)
+        assert list(tree.ancestors(2)) == []
+
+
+class TestPostdominators:
+    def test_postdominators_of_chain(self, chain_graph):
+        augmented = augment(chain_graph)
+        postdoms = immediate_postdominators(augmented.graph, augmented.sink)
+        ops = chain_graph.operation_nodes()
+        # In a chain, each operation is immediately postdominated by its
+        # single successor (the last one by the sink).
+        for earlier, later in zip(ops, ops[1:]):
+            assert postdoms[earlier] == later
+        assert postdoms[ops[-1]] == augmented.sink
+
+    def test_live_out_only_postdominated_by_sink(self, paper_figure1_graph):
+        # The paper: "a vertex in Oext will not be postdominated by any vertex
+        # but the artificial sink, because it is connected by an edge to the sink".
+        augmented = augment(paper_figure1_graph)
+        tree = postdominator_tree_of(augmented)
+        for vertex in paper_figure1_graph.live_out_nodes():
+            assert tree.idom(vertex) == augmented.sink
+
+    @given(dag_seeds)
+    def test_postdominators_are_dominators_of_reverse(self, seed):
+        graph = make_random_dag(seed, num_operations=10)
+        augmented = augment(graph)
+        n = augmented.graph.num_nodes
+        preds = [list(augmented.graph.predecessors(v)) for v in range(n)]
+        direct = immediate_postdominators(augmented.graph, augmented.sink)
+        via_reverse = immediate_dominators(n, preds, augmented.sink)
+        assert direct == via_reverse

