@@ -1,0 +1,122 @@
+"""BENCH-BATCH — Multi-block batch enumeration: parallel vs. sequential.
+
+The engine's :class:`~repro.engine.batch.BatchRunner` is the repo's path to
+whole-application scale: it drives every basic block of a workload through
+one enumeration algorithm, optionally across worker processes.  This
+benchmark checks the two properties that matter:
+
+* **determinism** — a ``jobs=2`` run returns bit-identical cuts (and, through
+  the ISE pipeline, identical instruction selections) to the sequential run;
+* **throughput** — the wall-clock speedup of the parallel run is recorded to
+  ``BENCH_batch_runner.json`` next to this file, so regressions are visible
+  across commits.  On a single-core container the speedup hovers around (or
+  below) 1.0 because process spawning and graph shipping are pure overhead;
+  the point of the record is the trend on real multi-core hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.core import Constraints
+from repro.engine import BatchRunner
+from repro.ise import BlockProfile, SelectionConfig, identify_instruction_set_extension
+from repro.workloads import SuiteConfig, build_suite
+
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_batch_runner.json"
+
+#: The paper's experimental constraints.
+CONSTRAINTS = Constraints(max_inputs=4, max_outputs=2)
+
+
+def _benchmark_suite(scale: str):
+    """A deterministic suite of at least 8 blocks."""
+    num_blocks = 10 if scale == "small" else 24
+    max_operations = 26 if scale == "small" else 40
+    suite = build_suite(
+        SuiteConfig(
+            num_blocks=num_blocks,
+            min_operations=12,
+            max_operations=max_operations,
+            include_kernels=False,
+            include_trees=False,
+        )
+    )
+    assert len(suite) >= 8
+    return suite
+
+
+def _cut_keys(result):
+    return [
+        (cut.sorted_nodes(), tuple(sorted(cut.inputs)), tuple(sorted(cut.outputs)))
+        for cut in result.cuts
+    ]
+
+
+def _timed_batch(suite, jobs: int):
+    runner = BatchRunner(constraints=CONSTRAINTS, jobs=jobs)
+    start = time.perf_counter()
+    report = runner.run(suite)
+    return report, time.perf_counter() - start
+
+
+def test_parallel_batch_is_bit_identical_and_records_speedup(bench_scale, capsys):
+    suite = _benchmark_suite(bench_scale)
+
+    sequential, sequential_seconds = _timed_batch(suite, jobs=1)
+    parallel, parallel_seconds = _timed_batch(suite, jobs=2)
+
+    # --- determinism: block-for-block, bit-for-bit ----------------------- #
+    assert [i.graph_name for i in parallel.items] == [i.graph_name for i in sequential.items]
+    for seq_item, par_item in zip(sequential.items, parallel.items):
+        assert seq_item.ok and par_item.ok
+        assert _cut_keys(seq_item.result) == _cut_keys(par_item.result)
+
+    # --- determinism through the full ISE pipeline ----------------------- #
+    blocks = [BlockProfile(graph, execution_count=1000.0) for graph in suite]
+    selection = SelectionConfig(max_instructions=2)
+    pipe_seq = identify_instruction_set_extension(
+        blocks, CONSTRAINTS, selection=selection, jobs=1
+    )
+    pipe_par = identify_instruction_set_extension(
+        blocks, CONSTRAINTS, selection=selection, jobs=2
+    )
+    assert pipe_seq.application_speedup == pipe_par.application_speedup
+    for seq_block, par_block in zip(pipe_seq.blocks, pipe_par.blocks):
+        assert [s.cut.nodes for s in seq_block.selected] == [
+            s.cut.nodes for s in par_block.selected
+        ]
+
+    # --- record the wall-clock speedup ----------------------------------- #
+    record = {
+        "benchmark": "batch_runner_parallel_speedup",
+        "scale": bench_scale,
+        "blocks": len(suite),
+        "total_cuts": sequential.total_cuts(),
+        "constraints": {"max_inputs": 4, "max_outputs": 2},
+        "jobs": 2,
+        "sequential_seconds": round(sequential_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(sequential_seconds / max(parallel_seconds, 1e-9), 3),
+        "bit_identical": True,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    with capsys.disabled():
+        print()
+        print("=" * 72)
+        print("BENCH-BATCH: BatchRunner jobs=2 vs sequential")
+        print("=" * 72)
+        print(
+            f"{len(suite)} blocks, {record['total_cuts']} cuts: "
+            f"sequential {sequential_seconds:.3f}s, parallel {parallel_seconds:.3f}s "
+            f"-> speedup {record['speedup']:.2f}x on {record['cpu_count']} CPU(s)"
+        )
+        print(f"record written to {RESULT_PATH.name}")

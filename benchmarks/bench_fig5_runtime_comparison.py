@@ -99,5 +99,5 @@ def test_fig5_full_scatter(fig5_suite, capsys):
         print()
         print(summary)
     # Sanity: the polynomial algorithm never reports cuts the baseline misses.
-    for row in report.paired("poly-enum", "exhaustive-[15]"):
-        assert row["poly-enum_cuts"] <= row["exhaustive-[15]_cuts"]
+    for row in report.paired("poly-enum-incremental", "exhaustive"):
+        assert row["poly-enum-incremental_cuts"] <= row["exhaustive_cuts"]

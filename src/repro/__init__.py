@@ -25,6 +25,8 @@ Sub-packages
     The paper's contribution: polynomial-time convex-cut enumeration.
 ``repro.baselines``
     Pruned exhaustive search [15], brute-force oracle, connected-only search.
+``repro.engine``
+    Unified engine: pluggable algorithm registry + parallel batch runner.
 ``repro.ise``
     Custom-instruction merit estimation and selection.
 ``repro.workloads``
@@ -53,6 +55,15 @@ from .baselines import (
     enumerate_cuts_exhaustive,
 )
 from .dfg import DataFlowGraph, DFGBuilder, Opcode
+from .engine import (
+    BatchReport,
+    BatchRunner,
+    EnumerationRequest,
+    available_algorithms,
+    enumerate_batch,
+    get_algorithm,
+    register_algorithm,
+)
 
 __version__ = "1.0.0"
 
@@ -72,6 +83,13 @@ __all__ = [
     "enumerate_connected_cuts",
     "enumerate_cuts_brute_force",
     "enumerate_cuts_exhaustive",
+    "BatchReport",
+    "BatchRunner",
+    "EnumerationRequest",
+    "available_algorithms",
+    "enumerate_batch",
+    "get_algorithm",
+    "register_algorithm",
     "DataFlowGraph",
     "DFGBuilder",
     "Opcode",

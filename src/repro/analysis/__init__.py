@@ -5,6 +5,7 @@ from .comparison import (
     BlockMeasurement,
     ComparisonReport,
     agreement_check,
+    algorithms_from_registry,
     compare_on_suite,
     default_algorithms,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "BlockMeasurement",
     "ComparisonReport",
     "agreement_check",
+    "algorithms_from_registry",
     "compare_on_suite",
     "default_algorithms",
     "CutPopulationStats",

@@ -15,10 +15,15 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..baselines.exhaustive import enumerate_cuts_exhaustive
 from ..core.constraints import Constraints
-from ..core.context import EnumerationContext
 from ..core.incremental import enumerate_cuts
 from ..core.stats import EnumerationResult
 from ..dfg.graph import DataFlowGraph
+from ..engine.batch import BatchRunner
+from ..engine.registry import (
+    EnumerationRequest,
+    available_algorithms,
+    get_algorithm,
+)
 
 #: Signature of an algorithm entry: (graph, constraints) -> EnumerationResult.
 AlgorithmCallable = Callable[[DataFlowGraph, Constraints], EnumerationResult]
@@ -26,10 +31,16 @@ AlgorithmCallable = Callable[[DataFlowGraph, Constraints], EnumerationResult]
 
 @dataclass
 class AlgorithmEntry:
-    """One algorithm participating in a comparison."""
+    """One algorithm participating in a comparison.
+
+    ``registry_name`` is set when the entry wraps a registered algorithm;
+    only such entries can run in worker processes (``jobs >= 2``), because an
+    arbitrary ``run`` callable cannot be shipped to another process.
+    """
 
     name: str
     run: AlgorithmCallable
+    registry_name: Optional[str] = None
 
 
 @dataclass
@@ -88,12 +99,42 @@ class ComparisonReport:
         return rows
 
 
+def algorithms_from_registry(
+    names: Optional[Sequence[str]] = None,
+    include_oracles: bool = False,
+) -> List[AlgorithmEntry]:
+    """Build comparison entries from the engine's algorithm registry.
+
+    Parameters
+    ----------
+    names:
+        Registry names (or aliases) to include, in order.  ``None`` selects
+        every registered algorithm, skipping exponential oracles unless
+        *include_oracles* is set.
+    """
+    selected = (
+        list(names)
+        if names is not None
+        else available_algorithms(include_oracles=include_oracles)
+    )
+    entries = []
+    for name in selected:
+        algorithm = get_algorithm(name)
+        entries.append(
+            AlgorithmEntry(
+                name=algorithm.name,
+                run=lambda g, c, _algo=algorithm: _algo.enumerate(
+                    EnumerationRequest(graph=g, constraints=c)
+                ),
+                registry_name=algorithm.name,
+            )
+        )
+    return entries
+
+
 def default_algorithms() -> List[AlgorithmEntry]:
     """The two algorithms Figure 5 compares: this paper's vs. the [15]-style baseline."""
-    return [
-        AlgorithmEntry("poly-enum", lambda g, c: enumerate_cuts(g, c)),
-        AlgorithmEntry("exhaustive-[15]", lambda g, c: enumerate_cuts_exhaustive(g, c)),
-    ]
+    return algorithms_from_registry(("poly-enum-incremental", "exhaustive"))
 
 
 def _work_units(result: EnumerationResult) -> int:
@@ -115,6 +156,8 @@ def compare_on_suite(
     algorithms: Optional[Sequence[AlgorithmEntry]] = None,
     cluster_of: Optional[Callable[[DataFlowGraph], str]] = None,
     repeat: int = 1,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
 ) -> ComparisonReport:
     """Run every algorithm on every graph of the suite and collect measurements.
 
@@ -130,11 +173,55 @@ def compare_on_suite(
         Optional function labelling each graph with a size cluster.
     repeat:
         Number of timed repetitions per (graph, algorithm); the minimum time
-        is reported, as is customary for micro-benchmarks.
+        is reported, as is customary for micro-benchmarks.  Only honoured by
+        sequential runs (``jobs == 1``).
+    jobs:
+        Number of worker processes per algorithm.  Parallel runs require
+        every entry to come from the registry
+        (:func:`algorithms_from_registry`), and report the wall-clock time
+        measured inside the worker.
+    timeout:
+        Per-block budget in seconds for parallel runs; a blown budget raises
+        ``RuntimeError`` (a comparison with missing points is meaningless).
     """
+    graphs = list(graphs)
     constraints = constraints or Constraints(max_inputs=4, max_outputs=2)
     algorithms = list(algorithms or default_algorithms())
     report = ComparisonReport(constraints=constraints)
+
+    if jobs > 1:
+        unsupported = [e.name for e in algorithms if e.registry_name is None]
+        if unsupported:
+            raise ValueError(
+                "parallel comparison requires registry-backed algorithm entries; "
+                f"not in the registry: {', '.join(unsupported)}"
+            )
+        for entry in algorithms:
+            runner = BatchRunner(
+                algorithm=entry.registry_name,
+                constraints=constraints,
+                jobs=jobs,
+                timeout=timeout,
+            )
+            for item in runner.run(graphs).items:
+                if not item.ok:
+                    raise RuntimeError(
+                        f"algorithm {entry.name!r} failed on block "
+                        f"{item.graph_name!r}: {item.error or 'timed out'}"
+                    )
+                report.measurements.append(
+                    BlockMeasurement(
+                        graph_name=item.graph_name,
+                        algorithm=entry.name,
+                        num_operations=len(item.graph.operation_nodes()),
+                        num_edges=item.graph.num_edges,
+                        cuts_found=len(item.result.cuts),
+                        elapsed_seconds=item.elapsed_seconds,
+                        work_units=_work_units(item.result),
+                        cluster=cluster_of(item.graph) if cluster_of else "",
+                    )
+                )
+        return report
 
     for graph in graphs:
         cluster = cluster_of(graph) if cluster_of else ""

@@ -105,8 +105,8 @@ def scatter_plot(
     return "\n".join(lines)
 
 
-def figure5_report(report: ComparisonReport, poly_name: str = "poly-enum",
-                   baseline_name: str = "exhaustive-[15]") -> str:
+def figure5_report(report: ComparisonReport, poly_name: str = "poly-enum-incremental",
+                   baseline_name: str = "exhaustive") -> str:
     """Full text report for the Figure 5 reproduction."""
     pairs = report.paired(poly_name, baseline_name)
     if not pairs:

@@ -22,18 +22,76 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .analysis.comparison import compare_on_suite
+from .analysis.comparison import algorithms_from_registry, compare_on_suite
 from .analysis.metrics import population_stats, result_summary
 from .analysis.reporting import cluster_summary, figure5_report, format_table
-from .baselines.exhaustive import enumerate_cuts_exhaustive
 from .core.constraints import Constraints
-from .core.incremental import enumerate_cuts
 from .dfg.serialization import load as load_graph
+from .engine.batch import BatchRunner
+from .engine.registry import (
+    DEFAULT_ALGORITHM,
+    algorithm_aliases,
+    available_algorithms,
+)
 from .ise.pipeline import BlockProfile, identify_instruction_set_extension
 from .ise.selection import SelectionConfig
 from .workloads.kernels import KERNEL_FACTORIES, build_kernel, kernel_names
 from .workloads.mibench_like import SuiteConfig, build_suite, size_cluster
 from .workloads.suite import WorkloadSuite
+
+
+def _algorithm_choices() -> List[str]:
+    """Every accepted ``--algorithm`` value: canonical names plus aliases."""
+    return sorted({*available_algorithms(), *algorithm_aliases()})
+
+
+def _add_engine_arguments(
+    parser: argparse.ArgumentParser,
+    default_algorithm: Optional[str] = DEFAULT_ALGORITHM,
+    multiple: bool = False,
+) -> None:
+    """The uniform ``--algorithm`` / ``--jobs`` / ``--timeout`` flags."""
+    if multiple:
+        parser.add_argument(
+            "--algorithm",
+            choices=_algorithm_choices(),
+            action="append",
+            help="enumeration algorithm (repeatable; default: "
+            "poly-enum-incremental vs exhaustive)",
+        )
+    else:
+        parser.add_argument(
+            "--algorithm",
+            choices=_algorithm_choices(),
+            default=default_algorithm,
+            help=f"enumeration algorithm (default {default_algorithm})",
+        )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="number of enumeration worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        help="per-block enumeration budget in seconds (default: none)",
+    )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
 
 
 def _add_constraint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -79,10 +137,26 @@ def _load_target(target: str):
 def _cmd_enumerate(args: argparse.Namespace) -> int:
     graph = _load_target(args.target)
     constraints = _constraints_from(args)
-    if args.algorithm == "exhaustive":
-        result = enumerate_cuts_exhaustive(graph, constraints)
-    else:
-        result = enumerate_cuts(graph, constraints)
+    runner = BatchRunner(
+        algorithm=args.algorithm,
+        constraints=constraints,
+        jobs=args.jobs,
+        timeout=args.timeout,
+    )
+    item = runner.run([graph]).items[0]
+    if item.error is not None:
+        raise SystemExit(f"enumeration failed: {item.error}")
+    if item.result is None:
+        raise SystemExit(
+            f"enumeration of {graph.name!r} exceeded the {args.timeout}s budget"
+        )
+    if item.timed_out:
+        print(
+            f"warning: enumeration took {item.elapsed_seconds:.3f}s, "
+            f"over the {args.timeout}s budget",
+            file=sys.stderr,
+        )
+    result = item.result
     print(result_summary(result))
     print()
     print(population_stats(result.cuts).summary())
@@ -103,9 +177,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     suite = build_suite(config)
     constraints = _constraints_from(args)
-    report = compare_on_suite(suite, constraints, cluster_of=size_cluster)
-    print(figure5_report(report))
-    print()
+    entries = algorithms_from_registry(args.algorithm) if args.algorithm else None
+    report = compare_on_suite(
+        suite,
+        constraints,
+        algorithms=entries,
+        cluster_of=size_cluster,
+        jobs=args.jobs,
+        timeout=args.timeout,
+    )
+    names = report.algorithms()
+    if "poly-enum-incremental" in names and "exhaustive" in names:
+        print(figure5_report(report))
+        print()
     print(format_table(cluster_summary(report)))
     return 0
 
@@ -121,6 +205,9 @@ def _cmd_ise(args: argparse.Namespace) -> int:
         constraints,
         selection=SelectionConfig(max_instructions=args.max_instructions),
         application_name=args.name,
+        algorithm=args.algorithm,
+        jobs=args.jobs,
+        timeout=args.timeout,
     )
     print(result.summary())
     return 0
@@ -159,10 +246,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_enum = subparsers.add_parser("enumerate", help="enumerate cuts of one basic block")
     p_enum.add_argument("target", help="kernel name or path to a DFG JSON file")
-    p_enum.add_argument(
-        "--algorithm", choices=("poly", "exhaustive"), default="poly"
-    )
     p_enum.add_argument("--show-cuts", action="store_true", help="print every cut")
+    _add_engine_arguments(p_enum)
     _add_constraint_arguments(p_enum)
     p_enum.set_defaults(func=_cmd_enumerate)
 
@@ -172,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--max-ops", type=int, default=40)
     p_cmp.add_argument("--no-kernels", action="store_true")
     p_cmp.add_argument("--no-trees", action="store_true")
+    _add_engine_arguments(p_cmp, multiple=True)
     _add_constraint_arguments(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
@@ -180,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ise.add_argument("--name", default="application")
     p_ise.add_argument("--execution-count", type=float, default=1000.0)
     p_ise.add_argument("--max-instructions", type=int, default=4)
+    _add_engine_arguments(p_ise)
     _add_constraint_arguments(p_ise)
     p_ise.set_defaults(func=_cmd_ise)
 

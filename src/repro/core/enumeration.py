@@ -18,7 +18,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..dfg.graph import DataFlowGraph
 from ..dfg.reachability import ids_from_mask, popcount
-from ..dominators.multi_vertex import enumerate_generalized_dominators
+from ..dominators.multi_vertex import (
+    DominatorSearchStats,
+    enumerate_generalized_dominators,
+)
 from .constraints import Constraints
 from .context import EnumerationContext
 from .cut import Cut
@@ -88,6 +91,7 @@ def _precompute_dominators(
             for v in ids_from_mask(ctx.ancestors_mask(output))
             if v != ctx.source
         ]
+        search_stats = DominatorSearchStats()
         dominator_sets = enumerate_generalized_dominators(
             ctx.num_nodes,
             ctx.successor_lists,
@@ -96,6 +100,7 @@ def _precompute_dominators(
             max_size=ctx.max_inputs,
             candidates=candidates,
             require_irredundant=True,
+            search_stats=search_stats,
         )
         masks = []
         for dominator_set in dominator_sets:
@@ -103,10 +108,7 @@ def _precompute_dominators(
             for vertex in dominator_set:
                 mask |= 1 << vertex
             masks.append(mask)
-        # A rough proxy for the number of LT invocations of the setup phase:
-        # one per explored seed set; the enumeration helper does not expose the
-        # exact figure, so count one call per candidate set found plus one.
-        stats.lt_calls += len(masks) + 1
+        stats.lt_calls += search_stats.lt_calls
         dominators_of[output] = masks
     return dominators_of
 

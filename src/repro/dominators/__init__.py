@@ -18,6 +18,7 @@ from .iterative import immediate_dominators_iterative
 from .lengauer_tarjan import dominates, immediate_dominators, strict_dominators
 from .multi_vertex import (
     CompletionResult,
+    DominatorSearchStats,
     dominator_completions,
     enumerate_generalized_dominators,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "immediate_dominators",
     "strict_dominators",
     "CompletionResult",
+    "DominatorSearchStats",
     "dominator_completions",
     "enumerate_generalized_dominators",
     "dominator_tree_of",

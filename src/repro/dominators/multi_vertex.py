@@ -31,6 +31,20 @@ SuccessorProvider = Union[Sequence[Sequence[int]], Callable[[int], Sequence[int]
 
 
 @dataclass
+class DominatorSearchStats:
+    """Counters of one :func:`enumerate_generalized_dominators` run.
+
+    Attributes
+    ----------
+    lt_calls:
+        Exact number of Lengauer–Tarjan invocations performed by the
+        seed-plus-completion exploration (one per explored seed set).
+    """
+
+    lt_calls: int = 0
+
+
+@dataclass
 class CompletionResult:
     """Result of one Dubrova reduction step.
 
@@ -95,6 +109,7 @@ def enumerate_generalized_dominators(
     max_size: int,
     candidates: Optional[Iterable[int]] = None,
     require_irredundant: bool = True,
+    search_stats: Optional[DominatorSearchStats] = None,
 ) -> Set[frozenset]:
     """Enumerate the generalized dominators of *target* with at most *max_size* vertices.
 
@@ -110,6 +125,9 @@ def enumerate_generalized_dominators(
         seed-plus-completion construction is reported, which is what the
         basic enumeration algorithm of Figure 2 consumes (Theorem 3 only
         needs condition 1).
+    search_stats:
+        Optional :class:`DominatorSearchStats` accumulating the exact number
+        of Lengauer–Tarjan invocations the enumeration performs.
     """
     if max_size < 1:
         return set()
@@ -134,6 +152,8 @@ def enumerate_generalized_dominators(
 
     def explore(seed_mask: int, start_index: int, seed_size: int) -> None:
         step = dominator_completions(num_nodes, successors, root, target, seed_mask)
+        if search_stats is not None:
+            search_stats.lt_calls += step.lt_calls
         if step.already_dominated:
             # The seed already blocks every path; any extension is redundant.
             if seed_size:

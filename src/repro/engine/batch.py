@@ -1,0 +1,397 @@
+"""Parallel multi-block batch enumeration.
+
+The paper's conclusion is that full subgraph enumeration pays off when it is
+driven across *whole applications* — many basic blocks, weighted by execution
+counts — inside a compiler toolchain.  :class:`BatchRunner` is that driver: it
+takes a :class:`~repro.workloads.suite.WorkloadSuite` (or any iterable of
+graphs / profiled blocks), enumerates every block with one registry algorithm,
+and returns per-block results in input order plus aggregated statistics.
+
+Parallel runs (``jobs >= 2``) use a ``ProcessPoolExecutor``.  Graphs travel to
+the workers through the stable :mod:`repro.dfg.serialization` dictionary form;
+workers send back cut bit masks and counters only, and the parent rebuilds the
+:class:`~repro.core.cut.Cut` objects against a locally built context, so the
+results of a parallel run are bit-identical to a sequential run.  Both the
+parent and each worker keep a bounded :class:`ContextCache` so repeated
+enumerations of the same graph (ablation sweeps, repeated benchmark runs)
+skip the context precomputation.
+
+Timeouts are best effort: in parallel mode a block whose result does not
+arrive within ``timeout`` seconds is marked ``timed_out`` and its (already
+running) worker task is abandoned; in sequential mode the run cannot be
+interrupted, so the block is marked after the fact but its result is kept.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.constraints import Constraints
+from ..core.context import EnumerationContext
+from ..core.cut import Cut
+from ..core.pruning import PruningConfig
+from ..core.stats import EnumerationResult, EnumerationStats
+from ..dfg.graph import DataFlowGraph
+from ..dfg.serialization import graph_from_dict, graph_to_dict
+from ..workloads.suite import WorkloadSuite
+from .registry import DEFAULT_ALGORITHM, EnumerationRequest, get_algorithm
+
+#: Anything the runner accepts as "a batch of blocks".
+BlockLike = Union[DataFlowGraph, Tuple[DataFlowGraph, float]]
+BatchInput = Union[WorkloadSuite, Iterable[BlockLike]]
+
+
+class ContextCache:
+    """Bounded LRU cache of :class:`EnumerationContext` objects.
+
+    Keys combine the *structure* of the graph (its serialized dictionary
+    form) with the constraints, so two graph objects with identical content
+    share one context while a renamed or edited graph does not.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple[str, Constraints], EnumerationContext]" = (
+            OrderedDict()
+        )
+
+    @staticmethod
+    def fingerprint(graph: DataFlowGraph) -> str:
+        """Deterministic structural key of *graph*."""
+        return json.dumps(graph_to_dict(graph), sort_keys=True)
+
+    def get(
+        self,
+        graph: DataFlowGraph,
+        constraints: Optional[Constraints],
+        fingerprint: Optional[str] = None,
+    ) -> EnumerationContext:
+        """Return a (possibly cached) context for *graph* under *constraints*.
+
+        *fingerprint* may be supplied when the caller already serialized the
+        graph, to avoid a second :func:`graph_to_dict` pass.
+        """
+        key = (fingerprint or self.fingerprint(graph), constraints or Constraints())
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        context = EnumerationContext.build(graph, constraints)
+        self._entries[key] = context
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return context
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class BatchItem:
+    """Outcome of enumerating one block of a batch."""
+
+    index: int
+    graph: DataFlowGraph
+    graph_name: str
+    execution_count: float = 1.0
+    result: Optional[EnumerationResult] = None
+    context: Optional[EnumerationContext] = None
+    elapsed_seconds: float = 0.0
+    timed_out: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when an enumeration result is available."""
+        return self.result is not None
+
+
+@dataclass
+class BatchReport:
+    """Input-ordered results of one batch run."""
+
+    algorithm: str
+    constraints: Constraints
+    jobs: int
+    items: List[BatchItem] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def results(self) -> List[EnumerationResult]:
+        """The successful per-block results, in input order."""
+        return [item.result for item in self.items if item.ok]
+
+    def failures(self) -> List[BatchItem]:
+        """Items that errored or timed out without a result."""
+        return [item for item in self.items if not item.ok]
+
+    def total_cuts(self) -> int:
+        """Number of cuts found across all successful blocks."""
+        return sum(len(item.result.cuts) for item in self.items if item.ok)
+
+    def total_stats(self) -> EnumerationStats:
+        """Aggregated search statistics of the successful blocks."""
+        total = EnumerationStats()
+        for item in self.items:
+            if item.ok:
+                total.merge(item.result.stats)
+        return total
+
+    def summary(self) -> str:
+        """One-paragraph human-readable account of the run."""
+        stats = self.total_stats()
+        lines = [
+            f"batch of {len(self.items)} block(s), algorithm {self.algorithm!r}, "
+            f"jobs={self.jobs}: {self.total_cuts()} cuts "
+            f"in {stats.elapsed_seconds:.3f}s of enumeration time",
+        ]
+        for item in self.failures():
+            reason = "timed out" if item.timed_out else (item.error or "failed")
+            lines.append(f"  block {item.graph_name!r}: {reason}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+#: Per-process context cache reused across the tasks a worker executes.
+_worker_cache: Optional[ContextCache] = None
+
+
+def _enumerate_serialized_block(
+    payload: Tuple[str, Dict[str, object], Optional[Constraints], Optional[PruningConfig]],
+) -> Dict[str, object]:
+    """Enumerate one serialized graph inside a worker process.
+
+    Returns a compact, picklable summary: the cut bit masks, the statistics
+    and the algorithm label.  The parent rebuilds the ``Cut`` objects.
+    """
+    global _worker_cache
+    algorithm_name, graph_dict, constraints, pruning = payload
+    algorithm = get_algorithm(algorithm_name)
+    graph = graph_from_dict(graph_dict)
+    context = None
+    if algorithm.capabilities.supports_context:
+        if _worker_cache is None:
+            _worker_cache = ContextCache()
+        context = _worker_cache.get(graph, constraints)
+    result = algorithm.enumerate(
+        EnumerationRequest(
+            graph=graph, constraints=constraints, pruning=pruning, context=context
+        )
+    )
+    return {
+        "graph_name": result.graph_name,
+        "algorithm": result.algorithm,
+        "masks": [cut.node_mask() for cut in result.cuts],
+        "stats": result.stats,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Runner
+# --------------------------------------------------------------------------- #
+class BatchRunner:
+    """Enumerate many basic blocks with one registry algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name (or alias) of the enumeration algorithm.
+    constraints:
+        I/O constraints applied to every block (defaults to Nin=4, Nout=2).
+    pruning:
+        Optional pruning configuration; only forwarded to algorithms whose
+        capabilities declare ``supports_pruning``.
+    jobs:
+        Number of worker processes; ``1`` (default) runs in-process.
+    timeout:
+        Optional per-block wall-clock budget in seconds (see the module
+        docstring for the exact semantics).
+    context_cache:
+        Parent-side context cache to share across runs; one is created per
+        runner by default.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = DEFAULT_ALGORITHM,
+        constraints: Optional[Constraints] = None,
+        pruning: Optional[PruningConfig] = None,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        context_cache: Optional[ContextCache] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.algorithm = get_algorithm(algorithm).name
+        self.constraints = constraints or Constraints()
+        self.pruning = pruning
+        self.jobs = jobs
+        self.timeout = timeout
+        self.cache = context_cache or ContextCache()
+
+    # ------------------------------------------------------------------ #
+    def run(self, blocks: BatchInput) -> BatchReport:
+        """Enumerate every block and return the input-ordered report."""
+        algorithm = get_algorithm(self.algorithm)
+        pruning = self.pruning if algorithm.capabilities.supports_pruning else None
+        items = self._normalize(blocks)
+        report = BatchReport(
+            algorithm=self.algorithm,
+            constraints=self.constraints,
+            jobs=self.jobs,
+            items=items,
+        )
+        # jobs >= 2 goes through the pool even for a single block: only the
+        # parallel path can abandon a block that blows its timeout.
+        if self.jobs == 1 or not items:
+            self._run_sequential(algorithm, pruning, items)
+        else:
+            self._run_parallel(pruning, items)
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _normalize(self, blocks: BatchInput) -> List[BatchItem]:
+        """Turn any accepted batch input into an ordered item list."""
+        if isinstance(blocks, WorkloadSuite):
+            pairs = [(graph, 1.0) for graph in blocks]
+        else:
+            pairs = []
+            for entry in blocks:
+                if isinstance(entry, DataFlowGraph):
+                    pairs.append((entry, 1.0))
+                elif isinstance(entry, tuple):
+                    graph, count = entry
+                    pairs.append((graph, float(count)))
+                elif hasattr(entry, "graph"):
+                    # Duck-typed profile, e.g. repro.ise.pipeline.BlockProfile.
+                    pairs.append(
+                        (entry.graph, float(getattr(entry, "execution_count", 1.0)))
+                    )
+                else:
+                    raise TypeError(
+                        f"cannot interpret {entry!r} as a basic block; expected a "
+                        "DataFlowGraph, a (graph, execution_count) pair, or an "
+                        "object with a .graph attribute"
+                    )
+        return [
+            BatchItem(
+                index=index,
+                graph=graph,
+                graph_name=graph.name,
+                execution_count=count,
+            )
+            for index, (graph, count) in enumerate(pairs)
+        ]
+
+    def _run_sequential(
+        self,
+        algorithm,
+        pruning: Optional[PruningConfig],
+        items: List[BatchItem],
+    ) -> None:
+        for item in items:
+            item.context = self.cache.get(item.graph, self.constraints)
+            context = item.context if algorithm.capabilities.supports_context else None
+            start = time.perf_counter()
+            try:
+                item.result = algorithm.enumerate(
+                    EnumerationRequest(
+                        graph=item.graph,
+                        constraints=self.constraints,
+                        pruning=pruning,
+                        context=context,
+                    )
+                )
+            except (ValueError, RecursionError) as exc:
+                item.error = f"{type(exc).__name__}: {exc}"
+            item.elapsed_seconds = time.perf_counter() - start
+            if self.timeout is not None and item.elapsed_seconds > self.timeout:
+                item.timed_out = True
+
+    def _run_parallel(
+        self, pruning: Optional[PruningConfig], items: List[BatchItem]
+    ) -> None:
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(items)))
+        abandoned = False
+        try:
+            graph_dicts = [graph_to_dict(item.graph) for item in items]
+            futures = [
+                pool.submit(
+                    _enumerate_serialized_block,
+                    (self.algorithm, graph_dict, self.constraints, pruning),
+                )
+                for item, graph_dict in zip(items, graph_dicts)
+            ]
+            for item, graph_dict, future in zip(items, graph_dicts, futures):
+                try:
+                    payload = future.result(timeout=self.timeout)
+                except FuturesTimeoutError:
+                    item.timed_out = True
+                    abandoned = True
+                    future.cancel()
+                    continue
+                except Exception as exc:  # worker-side failure, e.g. oracle limit
+                    item.error = f"{type(exc).__name__}: {exc}"
+                    continue
+                item.context = self.cache.get(
+                    item.graph,
+                    self.constraints,
+                    fingerprint=json.dumps(graph_dict, sort_keys=True),
+                )
+                item.result = EnumerationResult(
+                    cuts=[Cut.from_mask(item.context, mask) for mask in payload["masks"]],
+                    stats=payload["stats"],
+                    graph_name=payload["graph_name"],
+                    algorithm=payload["algorithm"],
+                )
+                item.elapsed_seconds = payload["stats"].elapsed_seconds
+        finally:
+            if abandoned:
+                # A timed-out task cannot be cancelled cooperatively, and a
+                # worker stuck in it would also block interpreter exit (the
+                # executor joins its workers atexit) — kill the processes.
+                workers = list((getattr(pool, "_processes", None) or {}).values())
+                pool.shutdown(wait=False, cancel_futures=True)
+                for process in workers:
+                    process.terminate()
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+
+def enumerate_batch(
+    blocks: BatchInput,
+    algorithm: str = DEFAULT_ALGORITHM,
+    constraints: Optional[Constraints] = None,
+    pruning: Optional[PruningConfig] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+) -> BatchReport:
+    """One-shot convenience wrapper around :class:`BatchRunner`."""
+    runner = BatchRunner(
+        algorithm=algorithm,
+        constraints=constraints,
+        pruning=pruning,
+        jobs=jobs,
+        timeout=timeout,
+    )
+    return runner.run(blocks)

@@ -15,10 +15,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.constraints import Constraints
-from ..core.context import EnumerationContext
-from ..core.incremental import enumerate_cuts
 from ..core.pruning import FULL_PRUNING, PruningConfig
 from ..dfg.graph import DataFlowGraph
+from ..engine.batch import BatchRunner
+from ..engine.registry import DEFAULT_ALGORITHM
 from .isa import CustomInstruction, InstructionSetExtension, make_instruction
 from .latency import DEFAULT_LATENCY_MODEL, LatencyModel, total_software_cycles
 from .selection import SelectionConfig, select_cuts
@@ -89,8 +89,17 @@ def identify_instruction_set_extension(
     latency_model: LatencyModel = DEFAULT_LATENCY_MODEL,
     pruning: PruningConfig = FULL_PRUNING,
     application_name: str = "application",
+    algorithm: str = DEFAULT_ALGORITHM,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    batch_runner: Optional[BatchRunner] = None,
 ) -> PipelineResult:
     """Run the full enumeration → scoring → selection pipeline.
+
+    The enumeration of the profiled blocks goes through the engine's
+    :class:`~repro.engine.batch.BatchRunner`, so whole-application ISE
+    identification parallelizes across worker processes with ``jobs >= 2``
+    while producing results identical to the sequential run.
 
     Parameters
     ----------
@@ -103,31 +112,64 @@ def identify_instruction_set_extension(
     latency_model:
         Software/hardware timing model.
     pruning:
-        Pruning configuration for the enumerator.
+        Pruning configuration for the enumerator (ignored by algorithms that
+        do not support one).
     application_name:
         Name used in the generated datasheet.
+    algorithm:
+        Registry name of the enumeration algorithm.
+    jobs:
+        Number of enumeration worker processes (1 = in-process).
+    timeout:
+        Optional per-block enumeration budget in seconds.  With ``jobs >= 2``
+        a block that blows it is abandoned and contributes no candidate cuts;
+        with ``jobs == 1`` the run cannot be interrupted, so the block is
+        only flagged and its cuts are kept.
+    batch_runner:
+        Pre-configured runner to use instead of building one from the
+        preceding arguments (e.g. to share a context cache across calls).
     """
     constraints = constraints or Constraints()
+    runner = batch_runner or BatchRunner(
+        algorithm=algorithm,
+        constraints=constraints,
+        pruning=pruning,
+        jobs=jobs,
+        timeout=timeout,
+    )
+    report = runner.run(list(blocks))
+
     extension = InstructionSetExtension(application=application_name)
     block_results: List[BlockResult] = []
     instruction_index = 0
 
-    for profile in blocks:
-        context = EnumerationContext.build(profile.graph, constraints)
-        enumeration = enumerate_cuts(
-            profile.graph, constraints, pruning=pruning, context=context
-        )
+    for item in report.items:
+        if item.error is not None:
+            raise RuntimeError(
+                f"enumeration failed for block {item.graph_name!r}: {item.error}"
+            )
+        context = item.context or runner.cache.get(item.graph, constraints)
+        if item.result is None:  # timed out: the block stays in software
+            block_results.append(
+                BlockResult(
+                    graph_name=item.graph_name,
+                    execution_count=item.execution_count,
+                    num_candidate_cuts=0,
+                    software_cycles=total_software_cycles(context, latency_model),
+                )
+            )
+            continue
         scored = score_cuts(
-            enumeration.cuts,
+            item.result.cuts,
             context,
-            execution_count=profile.execution_count,
+            execution_count=item.execution_count,
             model=latency_model,
         )
         selected = select_cuts(scored, selection)
         result = BlockResult(
-            graph_name=profile.graph.name,
-            execution_count=profile.execution_count,
-            num_candidate_cuts=len(enumeration.cuts),
+            graph_name=item.graph_name,
+            execution_count=item.execution_count,
+            num_candidate_cuts=len(item.result.cuts),
             selected=selected,
             software_cycles=total_software_cycles(context, latency_model),
             saved_cycles=sum(s.saved_cycles_per_execution for s in selected),

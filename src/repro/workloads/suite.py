@@ -18,11 +18,25 @@ from ..dfg.serialization import graph_from_dict, graph_to_dict
 
 @dataclass
 class WorkloadSuite:
-    """A named, ordered collection of basic blocks."""
+    """A named, ordered collection of basic blocks.
+
+    Graph names are unique within a suite: they are the keys benchmark
+    reports and batch results are joined on, so :meth:`add` rejects
+    duplicates, and :meth:`by_name` resolves through a name index instead of
+    scanning the graph list.
+    """
 
     name: str
     graphs: List[DataFlowGraph] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
+    _index: Dict[str, DataFlowGraph] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        initial, self.graphs = list(self.graphs), []
+        for graph in initial:
+            self.add(graph)
 
     def __len__(self) -> int:
         return len(self.graphs)
@@ -31,15 +45,17 @@ class WorkloadSuite:
         return iter(self.graphs)
 
     def add(self, graph: DataFlowGraph) -> None:
-        """Append a graph to the suite."""
+        """Append a graph to the suite (its name must be unused)."""
+        if graph.name in self._index:
+            raise ValueError(
+                f"suite {self.name!r} already contains a graph named {graph.name!r}"
+            )
         self.graphs.append(graph)
+        self._index[graph.name] = graph
 
     def by_name(self, graph_name: str) -> DataFlowGraph:
         """Return the graph called *graph_name* (raises ``KeyError`` if absent)."""
-        for graph in self.graphs:
-            if graph.name == graph_name:
-                return graph
-        raise KeyError(graph_name)
+        return self._index[graph_name]
 
     def sizes(self) -> List[int]:
         """Operation counts of the suite's graphs, in order."""

@@ -50,13 +50,13 @@ class TestComparison:
             assert measurement.cluster != ""
 
     def test_paired_rows(self, tiny_report, tiny_suite):
-        rows = tiny_report.paired("poly-enum", "exhaustive-[15]")
+        rows = tiny_report.paired("poly-enum-incremental", "exhaustive")
         assert len(rows) == len(tiny_suite)
         for row in rows:
             assert row["speed_ratio"] > 0
             # The exhaustive baseline is complete; the polynomial algorithm may
             # legitimately report slightly fewer cuts (see EXPERIMENTS.md).
-            assert row["poly-enum_cuts"] <= row["exhaustive-[15]_cuts"]
+            assert row["poly-enum-incremental_cuts"] <= row["exhaustive_cuts"]
 
     def test_custom_algorithm_entry(self, tiny_suite):
         entries = [AlgorithmEntry("only-poly", lambda g, c: enumerate_cuts(g, c))]
@@ -68,7 +68,7 @@ class TestComparison:
 
     def test_default_algorithm_names(self):
         names = [entry.name for entry in default_algorithms()]
-        assert names == ["poly-enum", "exhaustive-[15]"]
+        assert names == ["poly-enum-incremental", "exhaustive"]
 
 
 class TestMetricsAndReporting:
@@ -105,9 +105,9 @@ class TestMetricsAndReporting:
         assert format_table([]) == "(no data)"
 
     def test_scatter_plot_contains_points_and_diagonal(self, tiny_report):
-        rows = tiny_report.paired("poly-enum", "exhaustive-[15]")
+        rows = tiny_report.paired("poly-enum-incremental", "exhaustive")
         plot = scatter_plot(
-            rows, x_key="poly-enum_seconds", y_key="exhaustive-[15]_seconds"
+            rows, x_key="poly-enum-incremental_seconds", y_key="exhaustive_seconds"
         )
         assert "." in plot
         assert "log10" in plot
@@ -147,6 +147,36 @@ class TestCli:
         assert main(["enumerate", "dct_butterfly", "--algorithm", "exhaustive"]) == 0
         assert "exhaustive" in capsys.readouterr().out
 
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            "poly-enum-incremental",
+            "poly-enum-basic",
+            "exhaustive",
+            "brute-force",
+            "connected-only",
+        ],
+    )
+    def test_enumerate_every_registered_algorithm(self, algorithm, capsys):
+        assert main([
+            "enumerate", "dct_butterfly", "--algorithm", algorithm, "--max-inputs", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cuts" in out
+
+    @pytest.mark.parametrize("alias", ["poly", "basic", "connected", "oracle"])
+    def test_enumerate_algorithm_aliases(self, alias, capsys):
+        assert main(["enumerate", "dct_butterfly", "--algorithm", alias]) == 0
+        assert "cuts" in capsys.readouterr().out
+
+    def test_enumerate_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["enumerate", "dct_butterfly", "--algorithm", "not-a-registered-algo"])
+
+    def test_enumerate_with_jobs(self, capsys):
+        assert main(["enumerate", "crc32_step", "--jobs", "2"]) == 0
+        assert "cuts" in capsys.readouterr().out
+
     def test_enumerate_json_file(self, tmp_path, capsys):
         from repro.dfg.serialization import save
 
@@ -179,3 +209,21 @@ class TestCli:
         ]) == 0
         out = capsys.readouterr().out
         assert "Figure 5 reproduction" in out
+
+    def test_compare_command_algorithm_selection(self, capsys):
+        assert main([
+            "compare", "--blocks", "2", "--min-ops", "5", "--max-ops", "10",
+            "--no-kernels", "--no-trees", "--max-inputs", "3",
+            "--algorithm", "poly-enum-incremental", "--algorithm", "connected-only",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Not the default Figure 5 pair: only the cluster table is printed.
+        assert "Figure 5 reproduction" not in out
+        assert "connected-only" in out
+
+    def test_ise_command_with_engine_flags(self, capsys):
+        assert main([
+            "ise", "crc32_step", "bitcount", "--max-instructions", "1",
+            "--algorithm", "exhaustive", "--jobs", "2",
+        ]) == 0
+        assert "application speedup" in capsys.readouterr().out

@@ -91,8 +91,8 @@ class TestWorkloadToReportFlow:
         text = figure5_report(report)
         assert "run-time scatter" in text
         # Cut counts agree between algorithms on every block of the suite.
-        for row in report.paired("poly-enum", "exhaustive-[15]"):
-            assert row["poly-enum_cuts"] <= row["exhaustive-[15]_cuts"]
+        for row in report.paired("poly-enum-incremental", "exhaustive"):
+            assert row["poly-enum-incremental_cuts"] <= row["exhaustive_cuts"]
 
     def test_serialization_round_trip_preserves_enumeration(self):
         graph = build_kernel("aes_mix_column")

@@ -143,6 +143,32 @@ class TestEnumeration:
             diamond_graph.operation_nodes()[-1], max_size=0,
         ) == set()
 
+    def test_search_stats_count_real_lt_calls(self, diamond_graph, monkeypatch):
+        """The counter reports one LT invocation per explored seed set."""
+        from repro.dominators import DominatorSearchStats
+        from repro.dominators import multi_vertex
+
+        augmented, succs = _setup(diamond_graph)
+        n = augmented.graph.num_nodes
+        root = augmented.source
+        target = diamond_graph.operation_nodes()[-1]
+
+        observed = []
+        original = multi_vertex.dominator_completions
+
+        def counting(*args, **kwargs):
+            step = original(*args, **kwargs)
+            observed.append(step.lt_calls)
+            return step
+
+        monkeypatch.setattr(multi_vertex, "dominator_completions", counting)
+        stats = DominatorSearchStats()
+        enumerate_generalized_dominators(
+            n, succs, root, target, max_size=3, search_stats=stats
+        )
+        assert stats.lt_calls > 0
+        assert stats.lt_calls == sum(observed)
+
     def test_results_satisfy_definition(self, paper_figure1_graph):
         augmented, succs = _setup(paper_figure1_graph)
         n = augmented.graph.num_nodes

@@ -194,3 +194,21 @@ class TestWorkloadSuiteContainer:
         assert suite.by_name("crc32_step").name == "crc32_step"
         with pytest.raises(KeyError):
             suite.by_name("missing")
+
+    def test_by_name_uses_index_after_add(self):
+        suite = WorkloadSuite(name="x")
+        graphs = [build_kernel("crc32_step"), build_kernel("bitcount")]
+        for graph in graphs:
+            suite.add(graph)
+        for graph in graphs:
+            assert suite.by_name(graph.name) is graph
+
+    def test_duplicate_names_rejected(self):
+        suite = WorkloadSuite(name="x", graphs=[build_kernel("crc32_step")])
+        with pytest.raises(ValueError, match="crc32_step"):
+            suite.add(build_kernel("crc32_step"))
+        assert len(suite) == 1
+        with pytest.raises(ValueError, match="already contains"):
+            WorkloadSuite(
+                name="y", graphs=[build_kernel("bitcount"), build_kernel("bitcount")]
+            )
