@@ -33,6 +33,9 @@ Sub-packages
     Synthetic MiBench-like basic blocks, hand-written kernels, tree worst cases.
 ``repro.analysis``
     Runtime comparison harness and report generation.
+``repro.memo``
+    Canonical-form memoization: DFG canonicalization, a persistent
+    content-addressed result store, and isomorphism-class deduplication.
 """
 
 from .core import (
@@ -64,6 +67,14 @@ from .engine import (
     get_algorithm,
     register_algorithm,
 )
+from .memo import (
+    CanonicalForm,
+    ResultStore,
+    canonical_form,
+    canonical_hash,
+    enumerate_deduplicated,
+    group_by_isomorphism,
+)
 
 __version__ = "1.0.0"
 
@@ -90,6 +101,12 @@ __all__ = [
     "enumerate_batch",
     "get_algorithm",
     "register_algorithm",
+    "CanonicalForm",
+    "ResultStore",
+    "canonical_form",
+    "canonical_hash",
+    "enumerate_deduplicated",
+    "group_by_isomorphism",
     "DataFlowGraph",
     "DFGBuilder",
     "Opcode",

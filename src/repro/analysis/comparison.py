@@ -24,6 +24,7 @@ from ..engine.registry import (
     available_algorithms,
     get_algorithm,
 )
+from ..memo.store import ResultStore
 
 #: Signature of an algorithm entry: (graph, constraints) -> EnumerationResult.
 AlgorithmCallable = Callable[[DataFlowGraph, Constraints], EnumerationResult]
@@ -158,6 +159,7 @@ def compare_on_suite(
     repeat: int = 1,
     jobs: int = 1,
     timeout: Optional[float] = None,
+    store: Optional[ResultStore] = None,
 ) -> ComparisonReport:
     """Run every algorithm on every graph of the suite and collect measurements.
 
@@ -174,7 +176,8 @@ def compare_on_suite(
     repeat:
         Number of timed repetitions per (graph, algorithm); the minimum time
         is reported, as is customary for micro-benchmarks.  Only honoured by
-        sequential runs (``jobs == 1``).
+        sequential, store-less runs (``jobs == 1`` and ``store is None``);
+        the batch-runner path measures each block once.
     jobs:
         Number of worker processes per algorithm.  Parallel runs require
         every entry to come from the registry
@@ -183,18 +186,23 @@ def compare_on_suite(
     timeout:
         Per-block budget in seconds for parallel runs; a blown budget raises
         ``RuntimeError`` (a comparison with missing points is meaningless).
+    store:
+        Optional persistent memoization store.  Routes the comparison through
+        the batch runner (registry-backed entries only, like ``jobs > 1``);
+        cache hits report their lookup time, so a warm comparison measures
+        the memoized path.
     """
     graphs = list(graphs)
     constraints = constraints or Constraints(max_inputs=4, max_outputs=2)
     algorithms = list(algorithms or default_algorithms())
     report = ComparisonReport(constraints=constraints)
 
-    if jobs > 1:
+    if jobs > 1 or store is not None:
         unsupported = [e.name for e in algorithms if e.registry_name is None]
         if unsupported:
             raise ValueError(
-                "parallel comparison requires registry-backed algorithm entries; "
-                f"not in the registry: {', '.join(unsupported)}"
+                "parallel or store-backed comparison requires registry-backed "
+                f"algorithm entries; not in the registry: {', '.join(unsupported)}"
             )
         for entry in algorithms:
             runner = BatchRunner(
@@ -202,6 +210,7 @@ def compare_on_suite(
                 constraints=constraints,
                 jobs=jobs,
                 timeout=timeout,
+                store=store,
             )
             for item in runner.run(graphs).items:
                 if not item.ok:

@@ -13,11 +13,18 @@ Sub-commands
     Generate a synthetic workload suite and save it to a directory.
 ``kernels``
     List the built-in hand-written kernels.
+``cache``
+    Inspect, clear or warm the persistent enumeration-result cache.
+
+Caching: ``enumerate``, ``compare`` and ``ise`` accept ``--cache-dir`` (or the
+``REPRO_ENUM_CACHE`` environment variable) to memoize enumeration results
+across runs, and ``--no-cache`` to force recomputation.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -34,6 +41,7 @@ from .engine.registry import (
     available_algorithms,
 )
 from .ise.pipeline import BlockProfile, identify_instruction_set_extension
+from .memo.store import ResultStore
 from .ise.selection import SelectionConfig
 from .workloads.kernels import KERNEL_FACTORIES, build_kernel, kernel_names
 from .workloads.mibench_like import SuiteConfig, build_suite, size_cluster
@@ -78,6 +86,34 @@ def _add_engine_arguments(
         default=None,
         help="per-block enumeration budget in seconds (default: none)",
     )
+
+
+#: Environment variable naming the default cache directory.
+CACHE_ENV_VAR = "REPRO_ENUM_CACHE"
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """The uniform ``--cache-dir`` / ``--no-cache`` flags."""
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the persistent enumeration-result cache "
+        f"(default: ${CACHE_ENV_VAR} if set, else caching is off)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even if --cache-dir or "
+        f"${CACHE_ENV_VAR} is set",
+    )
+
+
+def _store_from(args: argparse.Namespace) -> Optional[ResultStore]:
+    """Build the :class:`ResultStore` selected by the cache flags, if any."""
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None) or os.environ.get(CACHE_ENV_VAR)
+    return ResultStore(cache_dir) if cache_dir else None
 
 
 def _positive_int(text: str) -> int:
@@ -137,13 +173,17 @@ def _load_target(target: str):
 def _cmd_enumerate(args: argparse.Namespace) -> int:
     graph = _load_target(args.target)
     constraints = _constraints_from(args)
+    store = _store_from(args)
     runner = BatchRunner(
         algorithm=args.algorithm,
         constraints=constraints,
         jobs=args.jobs,
         timeout=args.timeout,
+        store=store,
     )
     item = runner.run([graph]).items[0]
+    if item.cached:
+        print(f"(result served from cache {store.root})", file=sys.stderr)
     if item.error is not None:
         raise SystemExit(f"enumeration failed: {item.error}")
     if item.result is None:
@@ -178,6 +218,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     suite = build_suite(config)
     constraints = _constraints_from(args)
     entries = algorithms_from_registry(args.algorithm) if args.algorithm else None
+    store = _store_from(args)
+    if store is not None:
+        print(
+            f"note: result cache {store.root} is active; cached blocks report "
+            "lookup time, not enumeration time (pass --no-cache for clean "
+            "timings)",
+            file=sys.stderr,
+        )
     report = compare_on_suite(
         suite,
         constraints,
@@ -185,6 +233,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         cluster_of=size_cluster,
         jobs=args.jobs,
         timeout=args.timeout,
+        store=store,
     )
     names = report.algorithms()
     if "poly-enum-incremental" in names and "exhaustive" in names:
@@ -208,6 +257,7 @@ def _cmd_ise(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         jobs=args.jobs,
         timeout=args.timeout,
+        store=_store_from(args),
     )
     print(result.summary())
     return 0
@@ -236,6 +286,64 @@ def _cmd_kernels(_: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# cache sub-command
+# --------------------------------------------------------------------------- #
+def _cache_store(args: argparse.Namespace) -> ResultStore:
+    cache_dir = args.cache_dir or os.environ.get(CACHE_ENV_VAR)
+    if not cache_dir:
+        raise SystemExit(
+            f"no cache directory: pass --cache-dir or set ${CACHE_ENV_VAR}"
+        )
+    return ResultStore(cache_dir)
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    info = store.scan()
+    print(f"cache directory : {info['root']}")
+    print(f"entries         : {info['entries']}")
+    print(f"total size      : {info['total_bytes']} bytes")
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    removed = store.clear()
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {store.root}")
+    return 0
+
+
+def _cmd_cache_warm(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    graphs = []
+    for target in args.targets:
+        path = Path(target)
+        if path.is_dir():
+            graphs.extend(WorkloadSuite.load(path))
+        else:
+            graphs.append(_load_target(target))
+    if not graphs:
+        raise SystemExit("nothing to warm: no targets resolved to graphs")
+    runner = BatchRunner(
+        algorithm=args.algorithm,
+        constraints=_constraints_from(args),
+        jobs=args.jobs,
+        timeout=args.timeout,
+        store=store,
+    )
+    report = runner.run(graphs)
+    computed = sum(1 for item in report.items if item.ok and not item.cached)
+    already = sum(1 for item in report.items if item.cached)
+    failed = len(report.failures())
+    print(
+        f"warmed {store.root}: {computed} block(s) enumerated and stored, "
+        f"{already} already cached, {failed} failed"
+    )
+    print(store.stats.summary())
+    return 0 if failed == 0 else 1
+
+
+# --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -249,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_enum.add_argument("--show-cuts", action="store_true", help="print every cut")
     _add_engine_arguments(p_enum)
     _add_constraint_arguments(p_enum)
+    _add_cache_arguments(p_enum)
     p_enum.set_defaults(func=_cmd_enumerate)
 
     p_cmp = subparsers.add_parser("compare", help="compare algorithms on a suite (Figure 5)")
@@ -259,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--no-trees", action="store_true")
     _add_engine_arguments(p_cmp, multiple=True)
     _add_constraint_arguments(p_cmp)
+    _add_cache_arguments(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_ise = subparsers.add_parser("ise", help="identify an instruction set extension")
@@ -268,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ise.add_argument("--max-instructions", type=int, default=4)
     _add_engine_arguments(p_ise)
     _add_constraint_arguments(p_ise)
+    _add_cache_arguments(p_ise)
     p_ise.set_defaults(func=_cmd_ise)
 
     p_gen = subparsers.add_parser("generate", help="generate and save a workload suite")
@@ -280,6 +391,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ker = subparsers.add_parser("kernels", help="list built-in kernels")
     p_ker.set_defaults(func=_cmd_kernels)
+
+    p_cache = subparsers.add_parser(
+        "cache", help="inspect, clear or warm the enumeration-result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    p_stats = cache_sub.add_parser("stats", help="show cache entry count and size")
+    p_stats.add_argument("--cache-dir", default=None)
+    p_stats.set_defaults(func=_cmd_cache_stats)
+
+    p_clear = cache_sub.add_parser("clear", help="delete every cache entry")
+    p_clear.add_argument("--cache-dir", default=None)
+    p_clear.set_defaults(func=_cmd_cache_clear)
+
+    p_warm = cache_sub.add_parser(
+        "warm", help="pre-populate the cache by enumerating targets"
+    )
+    p_warm.add_argument(
+        "targets",
+        nargs="+",
+        help="kernel names, DFG JSON files, or saved workload-suite directories",
+    )
+    p_warm.add_argument("--cache-dir", default=None)
+    _add_engine_arguments(p_warm)
+    _add_constraint_arguments(p_warm)
+    p_warm.set_defaults(func=_cmd_cache_warm)
 
     return parser
 

@@ -9,8 +9,10 @@ connectedness and a depth limit) into a single validated value object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Dict, FrozenSet, Iterable, Optional
 
 
 @dataclass(frozen=True)
@@ -78,6 +80,60 @@ class Constraints:
             max_depth=self.max_depth,
             extra_forbidden=frozenset(self.extra_forbidden) | frozenset(extra_forbidden),
         )
+
+    # ------------------------------------------------------------------ #
+    # Serialization / cache keys
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable dictionary form (inverse of :meth:`from_dict`).
+
+        The dictionary is canonical (``extra_forbidden`` is a sorted list, so
+        two equal constraint objects always produce the identical dictionary)
+        and is derived from the dataclass fields, so a field added to the
+        class can never be silently dropped from cache-key fingerprints.
+        """
+        result: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, frozenset):
+                value = sorted(value)
+            result[spec.name] = value
+        return result
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Constraints":
+        """Rebuild a :class:`Constraints` from :meth:`to_dict` output.
+
+        Unknown keys are rejected so that a corrupted or future-format
+        dictionary fails loudly instead of silently dropping a constraint.
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown constraint field(s): {', '.join(sorted(unknown))}"
+            )
+        max_depth = data.get("max_depth")
+        return cls(
+            max_inputs=int(data.get("max_inputs", 4)),
+            max_outputs=int(data.get("max_outputs", 2)),
+            allow_memory_ops=bool(data.get("allow_memory_ops", False)),
+            connected_only=bool(data.get("connected_only", False)),
+            max_depth=None if max_depth is None else int(max_depth),
+            extra_forbidden=frozenset(
+                int(v) for v in data.get("extra_forbidden", ())
+            ),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the constraint set.
+
+        Used as a component of memoization-cache keys: two constraint objects
+        have the same fingerprint exactly when they compare equal, across
+        processes and interpreter versions.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
         """Human-readable one-line summary of the constraint set."""

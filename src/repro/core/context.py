@@ -22,6 +22,25 @@ from ..dominators.postdominators import dominator_tree_of, postdominator_tree_of
 from .constraints import Constraints
 
 
+def effective_forbidden(node, constraints: Constraints) -> bool:
+    """The forbidden flag of *node* after constraint-driven overrides.
+
+    Memory operations are forbidden unless ``allow_memory_ops``; vertices in
+    ``extra_forbidden`` are forbidden unconditionally.  This is the single
+    definition of the rule: :meth:`EnumerationContext.build` applies it to
+    the working graph, and :mod:`repro.memo.canon` folds it into canonical
+    hashes — the two must agree or the memoization store would serve results
+    computed under a different forbidden set.
+    """
+    forbidden = node.forbidden
+    if node.is_operation:
+        if is_memory(node.opcode):
+            forbidden = not constraints.allow_memory_ops
+        if node.node_id in constraints.extra_forbidden:
+            forbidden = True
+    return forbidden
+
+
 @dataclass
 class EnumerationContext:
     """Precomputed view of a basic block, ready for cut enumeration.
@@ -53,11 +72,7 @@ class EnumerationContext:
         # Apply constraint-driven forbidden flags before augmentation so that
         # the artificial source is wired to the right vertices.
         for node in working.nodes():
-            if node.is_operation:
-                if is_memory(node.opcode):
-                    node.forbidden = not constraints.allow_memory_ops
-                if node.node_id in constraints.extra_forbidden:
-                    node.forbidden = True
+            node.forbidden = effective_forbidden(node, constraints)
 
         augmented = augment(working)
         reach = ReachabilityInfo(augmented.graph, forbidden=augmented.forbidden)

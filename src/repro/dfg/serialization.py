@@ -4,6 +4,7 @@ The JSON schema is intentionally simple and stable so that workload suites
 can be saved to disk and benchmark runs are reproducible::
 
     {
+      "version": 1,
       "name": "crc32_step",
       "nodes": [
         {"id": 0, "opcode": "input", "name": "crc", "forbidden": true,
@@ -12,6 +13,12 @@ can be saved to disk and benchmark runs are reproducible::
       ],
       "edges": [[0, 3], [1, 3], ...]
     }
+
+The ``version`` field is the schema version, validated on load so that stored
+graphs (and the memoization store built on top of them) can be migrated
+safely: a graph written by a newer schema fails with a clear error instead of
+being silently misread.  Dictionaries without the field are treated as
+version 1 (the format predating the field).
 """
 
 from __future__ import annotations
@@ -22,6 +29,12 @@ from typing import Dict, List, Union
 
 from .graph import DataFlowGraph
 from .opcodes import Opcode
+
+#: Version of the DFG JSON schema written by :func:`graph_to_dict`.
+SCHEMA_VERSION = 1
+
+#: Schema versions :func:`graph_from_dict` knows how to read.
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1})
 
 
 def graph_to_dict(graph: DataFlowGraph) -> Dict[str, object]:
@@ -40,6 +53,7 @@ def graph_to_dict(graph: DataFlowGraph) -> Dict[str, object]:
             entry["attributes"] = dict(node.attributes)
         nodes.append(entry)
     return {
+        "version": SCHEMA_VERSION,
         "name": graph.name,
         "nodes": nodes,
         "edges": sorted(graph.edges()),
@@ -47,8 +61,21 @@ def graph_to_dict(graph: DataFlowGraph) -> Dict[str, object]:
 
 
 def graph_from_dict(data: Dict[str, object]) -> DataFlowGraph:
-    """Rebuild a DFG from the dictionary produced by :func:`graph_to_dict`."""
-    graph = DataFlowGraph(name=str(data.get("name", "dfg")))
+    """Rebuild a DFG from the dictionary produced by :func:`graph_to_dict`.
+
+    Raises ``ValueError`` (naming the graph) when the dictionary was written
+    by a schema version this build cannot read.
+    """
+    name = str(data.get("name", "dfg"))
+    version = data.get("version", 1)
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        supported = ", ".join(str(v) for v in sorted(SUPPORTED_SCHEMA_VERSIONS))
+        raise ValueError(
+            f"graph {name!r}: unsupported DFG schema version {version!r} "
+            f"(this build reads version(s) {supported}); "
+            "regenerate the file or migrate it before loading"
+        )
+    graph = DataFlowGraph(name=name)
     nodes = sorted(data["nodes"], key=lambda entry: entry["id"])  # type: ignore[index]
     for expected_id, entry in enumerate(nodes):
         if entry["id"] != expected_id:

@@ -17,6 +17,7 @@ from .batch import (
     BatchRunner,
     ContextCache,
     enumerate_batch,
+    normalize_blocks,
 )
 from .registry import (
     DEFAULT_ALGORITHM,
@@ -40,6 +41,7 @@ __all__ = [
     "BatchRunner",
     "ContextCache",
     "enumerate_batch",
+    "normalize_blocks",
     "DEFAULT_ALGORITHM",
     "SEMANTICS_ALL_VALID",
     "SEMANTICS_CONNECTED",

@@ -20,6 +20,13 @@ Timeouts are best effort: in parallel mode a block whose result does not
 arrive within ``timeout`` seconds is marked ``timed_out`` and its (already
 running) worker task is abandoned; in sequential mode the run cannot be
 interrupted, so the block is marked after the fact but its result is kept.
+
+When a :class:`~repro.memo.store.ResultStore` is attached, the runner
+consults it *before* dispatching work — blocks whose isomorphism class was
+already enumerated (under the same algorithm and request fingerprint) are
+rebuilt from the stored canonical cut masks and marked ``cached`` — and
+writes freshly computed results back afterwards, so later runs (and runs on
+isomorphic blocks) become cache hits.
 """
 
 from __future__ import annotations
@@ -35,10 +42,12 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from ..core.constraints import Constraints
 from ..core.context import EnumerationContext
 from ..core.cut import Cut
-from ..core.pruning import PruningConfig
+from ..core.pruning import FULL_PRUNING, PruningConfig
 from ..core.stats import EnumerationResult, EnumerationStats
 from ..dfg.graph import DataFlowGraph
 from ..dfg.serialization import graph_from_dict, graph_to_dict
+from ..memo.canon import CanonicalForm, canonical_form
+from ..memo.store import ResultStore, StoredResult, request_fingerprint
 from ..workloads.suite import WorkloadSuite
 from .registry import DEFAULT_ALGORITHM, EnumerationRequest, get_algorithm
 
@@ -111,6 +120,12 @@ class BatchItem:
     elapsed_seconds: float = 0.0
     timed_out: bool = False
     error: Optional[str] = None
+    #: ``True`` when the result was rebuilt from the memoization store
+    #: instead of being enumerated in this run.
+    cached: bool = False
+    #: ``True`` when the result was remapped from an isomorphic block's run
+    #: (see :func:`repro.memo.dedup.enumerate_deduplicated`).
+    deduplicated: bool = False
 
     @property
     def ok(self) -> bool:
@@ -165,6 +180,44 @@ class BatchReport:
             reason = "timed out" if item.timed_out else (item.error or "failed")
             lines.append(f"  block {item.graph_name!r}: {reason}")
         return "\n".join(lines)
+
+
+def normalize_blocks(blocks: BatchInput) -> List[BatchItem]:
+    """Turn any accepted batch input into an ordered :class:`BatchItem` list.
+
+    Shared by :class:`BatchRunner` and the isomorphism-deduplication driver
+    (:func:`repro.memo.dedup.enumerate_deduplicated`).
+    """
+    if isinstance(blocks, WorkloadSuite):
+        pairs = [(graph, 1.0) for graph in blocks]
+    else:
+        pairs = []
+        for entry in blocks:
+            if isinstance(entry, DataFlowGraph):
+                pairs.append((entry, 1.0))
+            elif isinstance(entry, tuple):
+                graph, count = entry
+                pairs.append((graph, float(count)))
+            elif hasattr(entry, "graph"):
+                # Duck-typed profile, e.g. repro.ise.pipeline.BlockProfile.
+                pairs.append(
+                    (entry.graph, float(getattr(entry, "execution_count", 1.0)))
+                )
+            else:
+                raise TypeError(
+                    f"cannot interpret {entry!r} as a basic block; expected a "
+                    "DataFlowGraph, a (graph, execution_count) pair, or an "
+                    "object with a .graph attribute"
+                )
+    return [
+        BatchItem(
+            index=index,
+            graph=graph,
+            graph_name=graph.name,
+            execution_count=count,
+        )
+        for index, (graph, count) in enumerate(pairs)
+    ]
 
 
 # --------------------------------------------------------------------------- #
@@ -227,6 +280,11 @@ class BatchRunner:
     context_cache:
         Parent-side context cache to share across runs; one is created per
         runner by default.
+    store:
+        Optional persistent :class:`~repro.memo.store.ResultStore`.  Blocks
+        with a stored result (same canonical graph hash, algorithm and
+        request fingerprint) skip enumeration entirely; fresh results are
+        written back after the run.
     """
 
     def __init__(
@@ -237,6 +295,7 @@ class BatchRunner:
         jobs: int = 1,
         timeout: Optional[float] = None,
         context_cache: Optional[ContextCache] = None,
+        store: Optional[ResultStore] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -248,60 +307,187 @@ class BatchRunner:
         self.jobs = jobs
         self.timeout = timeout
         self.cache = context_cache or ContextCache()
+        self.store = store
 
     # ------------------------------------------------------------------ #
-    def run(self, blocks: BatchInput) -> BatchReport:
-        """Enumerate every block and return the input-ordered report."""
+    def run(
+        self,
+        blocks: BatchInput,
+        canonical_forms: Optional[List[CanonicalForm]] = None,
+    ) -> BatchReport:
+        """Enumerate every block and return the input-ordered report.
+
+        *canonical_forms* (store runs only) supplies pre-computed canonical
+        forms, one per block in input order, to skip re-canonicalization;
+        they must have been computed with this runner's constraints.
+        """
         algorithm = get_algorithm(self.algorithm)
-        pruning = self.pruning if algorithm.capabilities.supports_pruning else None
-        items = self._normalize(blocks)
+        # Pruning-capable algorithms treat "no pruning config" as full
+        # pruning (see the registry adapters); normalizing here keeps that
+        # default out of the cache key, so e.g. a `cache warm` run
+        # (pruning=None) serves a later ISE run (pruning=FULL_PRUNING).
+        if algorithm.capabilities.supports_pruning:
+            pruning = self.pruning or FULL_PRUNING
+        else:
+            pruning = None
+        items = normalize_blocks(blocks)
         report = BatchReport(
             algorithm=self.algorithm,
             constraints=self.constraints,
             jobs=self.jobs,
             items=items,
         )
+        if self.store is None:
+            self._dispatch(algorithm, pruning, items)
+            return report
+
+        forms: Dict[int, CanonicalForm] = {}
+        if canonical_forms is not None:
+            if len(canonical_forms) != len(items):
+                raise ValueError(
+                    f"expected {len(items)} canonical form(s), "
+                    f"got {len(canonical_forms)}"
+                )
+            forms.update(enumerate(canonical_forms))
+        pending = self._resolve_from_store(items, pruning, forms)
+        # Within one run, isomorphic duplicates ride on the first copy of
+        # their class: enumerate one leader per store key, write it back,
+        # then serve the followers from the fresh entries.  When a leader
+        # fails, its key joins failed_keys and every remaining member of the
+        # class is dispatched together in the next round (they are known
+        # store misses — deferring them one by one would serialize a
+        # parallel run), so every round retires at least one block per key.
+        failed_keys: set = set()
+        while pending:
+            leaders, followers = self._split_unique_keys(
+                pending, pruning, forms, failed_keys
+            )
+            self._dispatch(algorithm, pruning, leaders)
+            self._write_back(leaders, pruning, forms)
+            for leader in leaders:
+                if leader.result is None:
+                    failed_keys.add(self._store_key(forms[leader.index], pruning))
+            if not followers:
+                break
+            pending = self._resolve_from_store(followers, pruning, forms)
+        return report
+
+    def _dispatch(self, algorithm, pruning: Optional[PruningConfig], items: List[BatchItem]) -> None:
+        """Run *items* through the sequential or parallel path."""
         # jobs >= 2 goes through the pool even for a single block: only the
         # parallel path can abandon a block that blows its timeout.
         if self.jobs == 1 or not items:
             self._run_sequential(algorithm, pruning, items)
         else:
             self._run_parallel(pruning, items)
-        return report
 
     # ------------------------------------------------------------------ #
-    def _normalize(self, blocks: BatchInput) -> List[BatchItem]:
-        """Turn any accepted batch input into an ordered item list."""
-        if isinstance(blocks, WorkloadSuite):
-            pairs = [(graph, 1.0) for graph in blocks]
-        else:
-            pairs = []
-            for entry in blocks:
-                if isinstance(entry, DataFlowGraph):
-                    pairs.append((entry, 1.0))
-                elif isinstance(entry, tuple):
-                    graph, count = entry
-                    pairs.append((graph, float(count)))
-                elif hasattr(entry, "graph"):
-                    # Duck-typed profile, e.g. repro.ise.pipeline.BlockProfile.
-                    pairs.append(
-                        (entry.graph, float(getattr(entry, "execution_count", 1.0)))
-                    )
-                else:
-                    raise TypeError(
-                        f"cannot interpret {entry!r} as a basic block; expected a "
-                        "DataFlowGraph, a (graph, execution_count) pair, or an "
-                        "object with a .graph attribute"
-                    )
-        return [
-            BatchItem(
-                index=index,
-                graph=graph,
-                graph_name=graph.name,
-                execution_count=count,
+    # Memoization store integration
+    # ------------------------------------------------------------------ #
+    def _store_key(self, form: CanonicalForm, pruning: Optional[PruningConfig]) -> str:
+        return ResultStore.make_key(
+            form.hash,
+            self.algorithm,
+            request_fingerprint(self.constraints, pruning),
+        )
+
+    def _split_unique_keys(
+        self,
+        pending: List[BatchItem],
+        pruning: Optional[PruningConfig],
+        forms: Dict[int, CanonicalForm],
+        failed_keys: set,
+    ) -> Tuple[List[BatchItem], List[BatchItem]]:
+        """Split *pending* into one leader per store key plus the followers.
+
+        Every member of a key that already failed becomes a leader: its
+        result will never appear in the store, so deferring would only cost
+        extra rounds.
+        """
+        leaders: List[BatchItem] = []
+        followers: List[BatchItem] = []
+        seen: set = set()
+        for item in pending:
+            key = self._store_key(forms[item.index], pruning)
+            if key in seen and key not in failed_keys:
+                followers.append(item)
+            else:
+                seen.add(key)
+                leaders.append(item)
+        return leaders, followers
+
+    def _resolve_from_store(
+        self,
+        items: List[BatchItem],
+        pruning: Optional[PruningConfig],
+        forms: Dict[int, CanonicalForm],
+    ) -> List[BatchItem]:
+        """Fill items with stored results; return the ones still to enumerate.
+
+        Stored masks live in the canonical id space, so a hit produced by an
+        isomorphic block remaps cleanly onto this block's vertex ids.
+        """
+        assert self.store is not None
+        pending: List[BatchItem] = []
+        for item in items:
+            start = time.perf_counter()
+            form = forms.get(item.index)
+            if form is None:
+                form = canonical_form(item.graph, self.constraints)
+                forms[item.index] = form
+            stored = self.store.get(self._store_key(form, pruning))
+            if stored is None:
+                pending.append(item)
+                continue
+            item.context = self.cache.get(item.graph, self.constraints)
+            # Copy the stats: the stored object is shared by the store's LRU
+            # front and every other hit on this key, and EnumerationStats is
+            # mutated in place by merge().
+            stats = EnumerationStats()
+            stats.merge(stored.stats)
+            item.result = EnumerationResult(
+                cuts=[
+                    Cut.from_mask(item.context, form.from_canonical_mask(mask))
+                    for mask in stored.masks
+                ],
+                stats=stats,
+                graph_name=item.graph_name,
+                # The label the algorithm itself emitted (it may differ from
+                # the registry name, e.g. "exhaustive-pruned"), so a warm run
+                # reproduces the cold run's reports byte-for-byte.
+                algorithm=stored.algorithm,
             )
-            for index, (graph, count) in enumerate(pairs)
-        ]
+            item.cached = True
+            item.elapsed_seconds = time.perf_counter() - start
+        return pending
+
+    def _write_back(
+        self,
+        computed: List[BatchItem],
+        pruning: Optional[PruningConfig],
+        forms: Dict[int, CanonicalForm],
+    ) -> None:
+        """Persist the results enumerated in this run (masks in canonical ids)."""
+        assert self.store is not None
+        for item in computed:
+            if item.result is None:
+                continue
+            form = forms[item.index]
+            self.store.put(
+                self._store_key(form, pruning),
+                StoredResult(
+                    canonical_hash=form.hash,
+                    # The result's own label, not the registry name (see the
+                    # reconstruction in _resolve_from_store).
+                    algorithm=item.result.algorithm,
+                    fingerprint=request_fingerprint(self.constraints, pruning),
+                    masks=[
+                        form.to_canonical_mask(cut.node_mask())
+                        for cut in item.result.cuts
+                    ],
+                    stats=item.result.stats,
+                ),
+            )
 
     def _run_sequential(
         self,

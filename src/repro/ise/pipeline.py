@@ -19,6 +19,7 @@ from ..core.pruning import FULL_PRUNING, PruningConfig
 from ..dfg.graph import DataFlowGraph
 from ..engine.batch import BatchRunner
 from ..engine.registry import DEFAULT_ALGORITHM
+from ..memo.store import ResultStore
 from .isa import CustomInstruction, InstructionSetExtension, make_instruction
 from .latency import DEFAULT_LATENCY_MODEL, LatencyModel, total_software_cycles
 from .selection import SelectionConfig, select_cuts
@@ -92,6 +93,7 @@ def identify_instruction_set_extension(
     algorithm: str = DEFAULT_ALGORITHM,
     jobs: int = 1,
     timeout: Optional[float] = None,
+    store: Optional[ResultStore] = None,
     batch_runner: Optional[BatchRunner] = None,
 ) -> PipelineResult:
     """Run the full enumeration → scoring → selection pipeline.
@@ -125,6 +127,10 @@ def identify_instruction_set_extension(
         a block that blows it is abandoned and contributes no candidate cuts;
         with ``jobs == 1`` the run cannot be interrupted, so the block is
         only flagged and its cuts are kept.
+    store:
+        Optional persistent memoization store
+        (:class:`~repro.memo.store.ResultStore`); previously enumerated
+        blocks — including isomorphic ones — skip enumeration.
     batch_runner:
         Pre-configured runner to use instead of building one from the
         preceding arguments (e.g. to share a context cache across calls).
@@ -136,6 +142,7 @@ def identify_instruction_set_extension(
         pruning=pruning,
         jobs=jobs,
         timeout=timeout,
+        store=store,
     )
     report = runner.run(list(blocks))
 

@@ -56,10 +56,18 @@ def select_cuts(
     never selected.
     """
     candidates = [entry for entry in scored_cuts if entry.weighted_gain > 0]
+    # Ties are broken by the cut's vertex set, not by list position, so the
+    # selection is independent of discovery order — a result rebuilt from the
+    # memoization store (whose cuts may arrive in an isomorphic writer's
+    # order) selects the same instructions as a direct enumeration.
     if config.by_density:
-        candidates.sort(key=lambda entry: entry.gain_per_area, reverse=True)
+        candidates.sort(
+            key=lambda entry: (-entry.gain_per_area, entry.cut.sorted_nodes())
+        )
     else:
-        candidates.sort(key=lambda entry: entry.weighted_gain, reverse=True)
+        candidates.sort(
+            key=lambda entry: (-entry.weighted_gain, entry.cut.sorted_nodes())
+        )
 
     selected: List[ScoredCut] = []
     used_vertices: set = set()

@@ -1,0 +1,227 @@
+"""Isomorphism-class deduplication of enumeration workloads.
+
+Real applications are full of structurally identical basic blocks (unrolled
+loop bodies, inlined helpers, recurring computational idioms).  Instead of
+enumerating each copy, :func:`enumerate_deduplicated` groups the blocks of a
+workload into isomorphism classes via :mod:`repro.memo.canon`, enumerates
+**one representative per class**, and remaps the representative's cut bit
+masks through the canonical permutations onto every member — producing, for
+every block, the same cut *set* a direct enumeration would.
+
+Blocks whose canonical form is incomplete (backtracking budget exhausted on a
+pathologically symmetric graph) still deduplicate against byte-identical
+copies of themselves; they just cannot merge with relabeled isomorphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.constraints import Constraints
+from ..core.pruning import PruningConfig
+from ..core.stats import EnumerationResult, EnumerationStats
+from ..dfg.graph import DataFlowGraph
+from .canon import CanonicalForm, canonical_form
+from .store import ResultStore
+
+
+@dataclass
+class IsoClass:
+    """One isomorphism class of a workload's blocks.
+
+    Indices refer to the normalized input order of the workload.
+    """
+
+    canonical_hash: str
+    representative: int
+    members: List[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class DedupReport:
+    """Outcome of :func:`enumerate_deduplicated`, in input order.
+
+    ``items`` are :class:`~repro.engine.batch.BatchItem` records; members
+    that were *not* the class representative carry a result whose cuts were
+    remapped from the representative's run (and share its statistics), with
+    ``item.deduplicated`` set.
+    """
+
+    algorithm: str
+    constraints: Constraints
+    classes: List[IsoClass] = field(default_factory=list)
+    items: List[object] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.items)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def saved_runs(self) -> int:
+        """Enumeration runs avoided by deduplication."""
+        return self.num_blocks - self.num_classes
+
+    def results(self) -> List[EnumerationResult]:
+        """The successful per-block results, in input order."""
+        return [item.result for item in self.items if item.result is not None]
+
+    def summary(self) -> str:
+        return (
+            f"{self.num_blocks} block(s) in {self.num_classes} isomorphism "
+            f"class(es): {self.saved_runs} enumeration run(s) saved "
+            f"({self.algorithm!r}, {self.constraints.describe()})"
+        )
+
+
+def group_by_isomorphism(
+    graphs: Sequence[DataFlowGraph],
+    constraints: Optional[Constraints] = None,
+) -> Tuple[List[IsoClass], List[CanonicalForm]]:
+    """Partition *graphs* into isomorphism classes.
+
+    Returns the classes (ordered by first appearance, representative = first
+    member) and the canonical form of every graph, in input order.
+    """
+    forms = [canonical_form(graph, constraints) for graph in graphs]
+    classes: List[IsoClass] = []
+    by_hash = {}
+    for index, form in enumerate(forms):
+        existing = by_hash.get(form.hash)
+        if existing is None:
+            existing = IsoClass(canonical_hash=form.hash, representative=index)
+            by_hash[form.hash] = existing
+            classes.append(existing)
+        existing.members.append(index)
+    return classes, forms
+
+
+def remap_masks(
+    masks: Sequence[int],
+    source: CanonicalForm,
+    target: CanonicalForm,
+) -> List[int]:
+    """Remap cut node masks from *source*'s graph onto *target*'s graph.
+
+    Both forms must belong to the same isomorphism class (equal hashes); the
+    masks travel through the shared canonical id space.
+    """
+    if source.hash != target.hash:
+        raise ValueError(
+            "cannot remap masks across isomorphism classes "
+            f"({source.hash[:12]}… vs {target.hash[:12]}…)"
+        )
+    return [
+        target.from_canonical_mask(source.to_canonical_mask(mask))
+        for mask in masks
+    ]
+
+
+def enumerate_deduplicated(
+    blocks,
+    algorithm: Optional[str] = None,
+    constraints: Optional[Constraints] = None,
+    pruning: Optional[PruningConfig] = None,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+) -> DedupReport:
+    """Enumerate a workload with isomorphism-class deduplication.
+
+    Accepts everything :class:`~repro.engine.batch.BatchRunner` accepts (a
+    :class:`~repro.workloads.suite.WorkloadSuite`, graphs, ``(graph, count)``
+    pairs, profiled blocks).  One representative per isomorphism class is
+    enumerated — through the runner, so ``store``/``jobs``/``timeout`` all
+    apply — and the cut masks are remapped onto the other members.  Member
+    results carry the representative's statistics (the search was only run
+    once) and have ``item.deduplicated`` set.
+    """
+    # Imported lazily: repro.engine.batch itself imports this package.
+    from ..engine.batch import BatchItem, BatchRunner, normalize_blocks
+    from ..core.cut import Cut
+
+    runner = BatchRunner(
+        algorithm=algorithm or _default_algorithm(),
+        constraints=constraints,
+        pruning=pruning,
+        jobs=jobs,
+        timeout=timeout,
+        store=store,
+    )
+    items: List[BatchItem] = normalize_blocks(blocks)
+    classes, forms = group_by_isomorphism(
+        [item.graph for item in items], runner.constraints
+    )
+    report = DedupReport(
+        algorithm=runner.algorithm,
+        constraints=runner.constraints,
+        classes=classes,
+        items=items,
+    )
+    if not items:
+        return report
+
+    representatives = [items[cls.representative] for cls in classes]
+    rep_report = runner.run(
+        [(item.graph, item.execution_count) for item in representatives],
+        canonical_forms=(
+            [forms[cls.representative] for cls in classes]
+            if store is not None
+            else None
+        ),
+    )
+
+    for cls, rep_item in zip(classes, rep_report.items):
+        original_rep = items[cls.representative]
+        original_rep.result = rep_item.result
+        original_rep.context = rep_item.context
+        original_rep.elapsed_seconds = rep_item.elapsed_seconds
+        original_rep.timed_out = rep_item.timed_out
+        original_rep.error = rep_item.error
+        original_rep.cached = rep_item.cached
+        if rep_item.result is None:
+            # The whole class fails with its representative.
+            for index in cls.members:
+                if index != cls.representative:
+                    items[index].timed_out = rep_item.timed_out
+                    items[index].error = rep_item.error
+            continue
+        rep_form = forms[cls.representative]
+        rep_masks = [cut.node_mask() for cut in rep_item.result.cuts]
+        for index in cls.members:
+            if index == cls.representative:
+                continue
+            member = items[index]
+            member.context = runner.cache.get(member.graph, runner.constraints)
+            local_masks = remap_masks(rep_masks, rep_form, forms[index])
+            stats = EnumerationStats()
+            stats.merge(rep_item.result.stats)
+            member.result = EnumerationResult(
+                cuts=[Cut.from_mask(member.context, mask) for mask in local_masks],
+                stats=stats,
+                graph_name=member.graph_name,
+                algorithm=rep_item.result.algorithm,
+            )
+            member.deduplicated = True
+            member.elapsed_seconds = 0.0
+    return report
+
+
+def _default_algorithm() -> str:
+    from ..engine.registry import DEFAULT_ALGORITHM
+
+    return DEFAULT_ALGORITHM
