@@ -74,6 +74,7 @@ from .memo import (
     canonical_hash,
     enumerate_deduplicated,
     group_by_isomorphism,
+    iter_enumerate_deduplicated,
 )
 
 __version__ = "1.0.0"
@@ -107,6 +108,7 @@ __all__ = [
     "canonical_hash",
     "enumerate_deduplicated",
     "group_by_isomorphism",
+    "iter_enumerate_deduplicated",
     "DataFlowGraph",
     "DFGBuilder",
     "Opcode",

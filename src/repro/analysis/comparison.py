@@ -18,7 +18,7 @@ from ..core.constraints import Constraints
 from ..core.incremental import enumerate_cuts
 from ..core.stats import EnumerationResult
 from ..dfg.graph import DataFlowGraph
-from ..engine.batch import BatchRunner
+from ..engine.batch import BatchItem, BatchRunner
 from ..engine.registry import (
     EnumerationRequest,
     available_algorithms,
@@ -160,6 +160,7 @@ def compare_on_suite(
     jobs: int = 1,
     timeout: Optional[float] = None,
     store: Optional[ResultStore] = None,
+    progress=None,
 ) -> ComparisonReport:
     """Run every algorithm on every graph of the suite and collect measurements.
 
@@ -184,13 +185,22 @@ def compare_on_suite(
         (:func:`algorithms_from_registry`), and report the wall-clock time
         measured inside the worker.
     timeout:
-        Per-block budget in seconds for parallel runs; a blown budget raises
-        ``RuntimeError`` (a comparison with missing points is meaningless).
+        Per-block budget in seconds for parallel runs, charged from actual
+        task start (queue wait is excluded); a block abandoned at its
+        deadline raises ``RuntimeError`` (a comparison with missing points
+        is meaningless).
     store:
         Optional persistent memoization store.  Routes the comparison through
         the batch runner (registry-backed entries only, like ``jobs > 1``);
         cache hits report their lookup time, so a warm comparison measures
         the memoized path.
+    progress:
+        Optional per-block callback ``progress(item, completed, total)``,
+        invoked as each block's enumeration finishes.  Batch-runner
+        comparisons (``jobs > 1`` or a store) report per algorithm with
+        ``total = len(graphs)``; the direct sequential path reports each
+        (graph, algorithm) measurement with ``total = len(graphs) *
+        len(algorithms)``.
     """
     graphs = list(graphs)
     constraints = constraints or Constraints(max_inputs=4, max_outputs=2)
@@ -212,7 +222,7 @@ def compare_on_suite(
                 timeout=timeout,
                 store=store,
             )
-            for item in runner.run(graphs).items:
+            for item in runner.run(graphs, progress=progress).items:
                 if not item.ok:
                     raise RuntimeError(
                         f"algorithm {entry.name!r} failed on block "
@@ -232,7 +242,9 @@ def compare_on_suite(
                 )
         return report
 
-    for graph in graphs:
+    completed = 0
+    total = len(graphs) * len(algorithms)
+    for graph_index, graph in enumerate(graphs):
         cluster = cluster_of(graph) if cluster_of else ""
         for entry in algorithms:
             best_elapsed = None
@@ -244,6 +256,19 @@ def compare_on_suite(
                 if best_elapsed is None or elapsed < best_elapsed:
                     best_elapsed = elapsed
             assert last_result is not None and best_elapsed is not None
+            completed += 1
+            if progress is not None:
+                progress(
+                    BatchItem(
+                        index=graph_index,
+                        graph=graph,
+                        graph_name=graph.name,
+                        result=last_result,
+                        elapsed_seconds=best_elapsed,
+                    ),
+                    completed,
+                    total,
+                )
             report.measurements.append(
                 BlockMeasurement(
                     graph_name=graph.name,

@@ -19,6 +19,10 @@ Sub-commands
 Caching: ``enumerate``, ``compare`` and ``ise`` accept ``--cache-dir`` (or the
 ``REPRO_ENUM_CACHE`` environment variable) to memoize enumeration results
 across runs, and ``--no-cache`` to force recomputation.
+
+Progress: the engine streams per-block results as they complete;
+``--progress`` (on ``enumerate``, ``compare``, ``ise`` and ``cache warm``)
+prints one status line per finished block to stderr.
 """
 
 from __future__ import annotations
@@ -84,7 +88,13 @@ def _add_engine_arguments(
         "--timeout",
         type=_positive_float,
         default=None,
-        help="per-block enumeration budget in seconds (default: none)",
+        help="per-block enumeration budget in seconds, charged from task "
+        "start — queue wait is excluded (default: none)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-block status to stderr as each block finishes",
     )
 
 
@@ -114,6 +124,32 @@ def _store_from(args: argparse.Namespace) -> Optional[ResultStore]:
         return None
     cache_dir = getattr(args, "cache_dir", None) or os.environ.get(CACHE_ENV_VAR)
     return ResultStore(cache_dir) if cache_dir else None
+
+
+def _progress_from(args: argparse.Namespace):
+    """Per-block progress printer for ``--progress``, or ``None``."""
+    if not getattr(args, "progress", False):
+        return None
+
+    def report(item, completed: int, total: int) -> None:
+        if item.error is not None:
+            status = f"error: {item.error}"
+        elif item.result is None:
+            status = "timed out"
+        elif item.cached:
+            status = "cached"
+        elif item.timed_out:
+            status = "over budget, result kept"
+        else:
+            status = "ok"
+        print(
+            f"[{completed}/{total}] {item.graph_name}: {status} "
+            f"({item.elapsed_seconds:.3f}s)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return report
 
 
 def _positive_int(text: str) -> int:
@@ -181,7 +217,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         store=store,
     )
-    item = runner.run([graph]).items[0]
+    item = runner.run([graph], progress=_progress_from(args)).items[0]
     if item.cached:
         print(f"(result served from cache {store.root})", file=sys.stderr)
     if item.error is not None:
@@ -234,6 +270,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         store=store,
+        progress=_progress_from(args),
     )
     names = report.algorithms()
     if "poly-enum-incremental" in names and "exhaustive" in names:
@@ -258,6 +295,7 @@ def _cmd_ise(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         store=_store_from(args),
+        progress=_progress_from(args),
     )
     print(result.summary())
     return 0
@@ -331,7 +369,7 @@ def _cmd_cache_warm(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         store=store,
     )
-    report = runner.run(graphs)
+    report = runner.run(graphs, progress=_progress_from(args))
     computed = sum(1 for item in report.items if item.ok and not item.cached)
     already = sum(1 for item in report.items if item.cached)
     failed = len(report.failures())

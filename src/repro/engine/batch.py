@@ -1,4 +1,4 @@
-"""Parallel multi-block batch enumeration.
+"""Streaming, fault-tolerant multi-block batch enumeration.
 
 The paper's conclusion is that full subgraph enumeration pays off when it is
 driven across *whole applications* — many basic blocks, weighted by execution
@@ -7,37 +7,79 @@ takes a :class:`~repro.workloads.suite.WorkloadSuite` (or any iterable of
 graphs / profiled blocks), enumerates every block with one registry algorithm,
 and returns per-block results in input order plus aggregated statistics.
 
-Parallel runs (``jobs >= 2``) use a ``ProcessPoolExecutor``.  Graphs travel to
-the workers through the stable :mod:`repro.dfg.serialization` dictionary form;
-workers send back cut bit masks and counters only, and the parent rebuilds the
+Parallel runs (``jobs >= 2``) use a ``ProcessPoolExecutor`` behind a
+**streaming scheduler**: at most ``2 * jobs`` tasks are outstanding at any
+moment (so million-block suites never materialize every serialized graph up
+front), results are collected as they complete, and
+:meth:`BatchRunner.iter_run` yields each finished :class:`BatchItem`
+immediately — :meth:`BatchRunner.run` is a thin wrapper that drains the
+stream and restores input order.  Graphs travel to the workers through the
+stable :mod:`repro.dfg.serialization` dictionary form; workers send back cut
+bit masks and counters only, and the parent rebuilds the
 :class:`~repro.core.cut.Cut` objects against a locally built context, so the
 results of a parallel run are bit-identical to a sequential run.  Both the
 parent and each worker keep a bounded :class:`ContextCache` so repeated
 enumerations of the same graph (ablation sweeps, repeated benchmark runs)
 skip the context precomputation.
 
-Timeouts are best effort: in parallel mode a block whose result does not
-arrive within ``timeout`` seconds is marked ``timed_out`` and its (already
-running) worker task is abandoned; in sequential mode the run cannot be
-interrupted, so the block is marked after the fact but its result is kept.
+Timeout semantics (corrected in the streaming rewrite): a block's deadline is
+measured from the moment its task actually *starts*, never from submission —
+time spent waiting in the pool queue is not charged to the block.  Workers
+stamp the task wall-clock time into the result payload; the parent enforces
+deadlines on still-running tasks by polling the in-flight set with
+``concurrent.futures.wait``.  A block that is still running at its deadline
+is abandoned (``timed_out`` set, no result) and the worker pool is recycled;
+a block that *completes* over budget — in sequential mode, where the run
+cannot be interrupted, or in parallel mode when the result arrives late —
+keeps its result and is only flagged.  When a worker process crashes
+(``BrokenProcessPool``) the in-flight blocks are retried on a fresh pool:
+a crash strike is charged only when the culprit is unambiguous — a sole
+casualty, or exactly one block observed *running* when the pool broke —
+and two strikes fail a block.  Every other casualty is requeued
+penalty-free, so a poison block cannot burn an innocent neighbour's retry.
+Ambiguous crashes charge no one and re-run their casualties one at a time,
+which makes any repeat crash attributable; a hard per-block encounter cap
+guarantees termination.
+
+Both execution paths apply one exception policy: any ``Exception`` raised by
+the algorithm is caught and recorded as ``item.error`` in the same
+``"TypeName: message"`` form, so a block fails identically under ``jobs=1``
+and ``jobs=2``.
 
 When a :class:`~repro.memo.store.ResultStore` is attached, the runner
 consults it *before* dispatching work — blocks whose isomorphism class was
 already enumerated (under the same algorithm and request fingerprint) are
 rebuilt from the stored canonical cut masks and marked ``cached`` — and
-writes freshly computed results back afterwards, so later runs (and runs on
-isomorphic blocks) become cache hits.
+writes each freshly computed result back *as it completes*, so a crash in
+the middle of a suite loses none of the work already finished, and later
+runs (and runs on isomorphic blocks) become cache hits.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from collections import OrderedDict, deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..core.constraints import Constraints
 from ..core.context import EnumerationContext
@@ -54,6 +96,28 @@ from .registry import DEFAULT_ALGORITHM, EnumerationRequest, get_algorithm
 #: Anything the runner accepts as "a batch of blocks".
 BlockLike = Union[DataFlowGraph, Tuple[DataFlowGraph, float]]
 BatchInput = Union[WorkloadSuite, Iterable[BlockLike]]
+
+#: Per-item progress hook: ``callback(item, completed, total)``.
+ProgressCallback = Callable[["BatchItem", int, int], None]
+
+#: Outstanding-task window of the streaming scheduler, as a multiple of
+#: ``jobs``: enough to keep every worker busy while the parent rebuilds the
+#: previous results, small enough that huge suites are serialized lazily.
+WINDOW_FACTOR = 2
+
+#: How long (seconds) to wait for the surviving futures of a broken pool to
+#: settle before classifying them.
+_BROKEN_POOL_DRAIN_SECONDS = 10.0
+
+#: A block observed *running* when the pool broke is charged a crash strike
+#: (it is a probable culprit); two strikes and it is marked failed.
+_MAX_CRASH_CHARGES = 2
+
+#: Hard bound on how many pool crashes any single block may witness while in
+#: flight — charged or not — before it is marked failed.  Guarantees the
+#: stream terminates even when crashes cannot be attributed (a worker that
+#: dies before the parent ever observes its task running).
+_MAX_CRASH_ENCOUNTERS = 4
 
 
 class ContextCache:
@@ -156,6 +220,16 @@ class BatchReport:
         """Items that errored or timed out without a result."""
         return [item for item in self.items if not item.ok]
 
+    def timed_out(self) -> List[BatchItem]:
+        """Items flagged over budget, in input order.
+
+        Covers both blocks abandoned at their deadline (no result) and
+        blocks that completed past the budget with their result kept (the
+        only possible outcome of a sequential run, which cannot be
+        interrupted).
+        """
+        return [item for item in self.items if item.timed_out]
+
     def total_cuts(self) -> int:
         """Number of cuts found across all successful blocks."""
         return sum(len(item.result.cuts) for item in self.items if item.ok)
@@ -179,6 +253,12 @@ class BatchReport:
         for item in self.failures():
             reason = "timed out" if item.timed_out else (item.error or "failed")
             lines.append(f"  block {item.graph_name!r}: {reason}")
+        for item in self.timed_out():
+            if item.ok:
+                lines.append(
+                    f"  block {item.graph_name!r}: exceeded the budget "
+                    f"({item.elapsed_seconds:.3f}s) but completed; result kept"
+                )
         return "\n".join(lines)
 
 
@@ -232,10 +312,14 @@ def _enumerate_serialized_block(
 ) -> Dict[str, object]:
     """Enumerate one serialized graph inside a worker process.
 
-    Returns a compact, picklable summary: the cut bit masks, the statistics
-    and the algorithm label.  The parent rebuilds the ``Cut`` objects.
+    Returns a compact, picklable summary: the cut bit masks, the statistics,
+    the algorithm label and the wall-clock time the task actually ran
+    (``task_seconds``, measured from the worker-side start stamp — the basis
+    of the parent's over-budget accounting, which must never charge queue
+    wait to a block).  The parent rebuilds the ``Cut`` objects.
     """
     global _worker_cache
+    task_start = time.perf_counter()
     algorithm_name, graph_dict, constraints, pruning = payload
     algorithm = get_algorithm(algorithm_name)
     graph = graph_from_dict(graph_dict)
@@ -254,6 +338,7 @@ def _enumerate_serialized_block(
         "algorithm": result.algorithm,
         "masks": [cut.node_mask() for cut in result.cuts],
         "stats": result.stats,
+        "task_seconds": time.perf_counter() - task_start,
     }
 
 
@@ -275,8 +360,9 @@ class BatchRunner:
     jobs:
         Number of worker processes; ``1`` (default) runs in-process.
     timeout:
-        Optional per-block wall-clock budget in seconds (see the module
-        docstring for the exact semantics).
+        Optional per-block wall-clock budget in seconds, measured from the
+        moment the block's task starts running — queue wait is never charged
+        (see the module docstring for the exact semantics).
     context_cache:
         Parent-side context cache to share across runs; one is created per
         runner by default.
@@ -284,7 +370,11 @@ class BatchRunner:
         Optional persistent :class:`~repro.memo.store.ResultStore`.  Blocks
         with a stored result (same canonical graph hash, algorithm and
         request fingerprint) skip enumeration entirely; fresh results are
-        written back after the run.
+        written back one by one as they complete.
+    mp_context:
+        Optional :mod:`multiprocessing` context for the worker pool (e.g.
+        ``multiprocessing.get_context("fork")``); the platform default is
+        used when omitted.
     """
 
     def __init__(
@@ -296,6 +386,7 @@ class BatchRunner:
         timeout: Optional[float] = None,
         context_cache: Optional[ContextCache] = None,
         store: Optional[ResultStore] = None,
+        mp_context=None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -308,18 +399,53 @@ class BatchRunner:
         self.timeout = timeout
         self.cache = context_cache or ContextCache()
         self.store = store
+        self.mp_context = mp_context
 
+    # ------------------------------------------------------------------ #
+    # Public API
     # ------------------------------------------------------------------ #
     def run(
         self,
         blocks: BatchInput,
         canonical_forms: Optional[List[CanonicalForm]] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> BatchReport:
         """Enumerate every block and return the input-ordered report.
 
-        *canonical_forms* (store runs only) supplies pre-computed canonical
-        forms, one per block in input order, to skip re-canonicalization;
-        they must have been computed with this runner's constraints.
+        Implemented on :meth:`iter_run`: the stream is drained to completion
+        and the items — the same objects the generator yields — are restored
+        to input order.  *canonical_forms* (store runs only) supplies
+        pre-computed canonical forms, one per block in input order, to skip
+        re-canonicalization; they must have been computed with this runner's
+        constraints.  *progress* is invoked as ``progress(item, completed,
+        total)`` after every finished block.
+        """
+        items = sorted(
+            self.iter_run(blocks, canonical_forms=canonical_forms, progress=progress),
+            key=lambda item: item.index,
+        )
+        return BatchReport(
+            algorithm=self.algorithm,
+            constraints=self.constraints,
+            jobs=self.jobs,
+            items=items,
+        )
+
+    def iter_run(
+        self,
+        blocks: BatchInput,
+        canonical_forms: Optional[List[CanonicalForm]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> Iterator[BatchItem]:
+        """Enumerate *blocks*, yielding each :class:`BatchItem` as it finishes.
+
+        Items arrive in completion order (``item.index`` carries the input
+        position); every input block is yielded exactly once — successes,
+        cache hits, errors and timeouts alike.  With a store attached, each
+        fresh result is written back *before* the item is yielded, so a
+        consumer crash mid-suite never loses completed work.  *progress*, if
+        given, is called as ``progress(item, completed, total)`` right before
+        each item is yielded.
         """
         algorithm = get_algorithm(self.algorithm)
         # Pruning-capable algorithms treat "no pruning config" as full
@@ -331,15 +457,28 @@ class BatchRunner:
         else:
             pruning = None
         items = normalize_blocks(blocks)
-        report = BatchReport(
-            algorithm=self.algorithm,
-            constraints=self.constraints,
-            jobs=self.jobs,
-            items=items,
-        )
+        total = len(items)
+        completed = 0
+        for item in self._iter_resolved(algorithm, pruning, items, canonical_forms):
+            completed += 1
+            if progress is not None:
+                progress(item, completed, total)
+            yield item
+
+    # ------------------------------------------------------------------ #
+    # Store-aware streaming
+    # ------------------------------------------------------------------ #
+    def _iter_resolved(
+        self,
+        algorithm,
+        pruning: Optional[PruningConfig],
+        items: List[BatchItem],
+        canonical_forms: Optional[List[CanonicalForm]],
+    ) -> Iterator[BatchItem]:
+        """Stream *items* through the store front and the scheduler."""
         if self.store is None:
-            self._dispatch(algorithm, pruning, items)
-            return report
+            yield from self._stream(algorithm, pruning, items)
+            return
 
         forms: Dict[int, CanonicalForm] = {}
         if canonical_forms is not None:
@@ -349,37 +488,56 @@ class BatchRunner:
                     f"got {len(canonical_forms)}"
                 )
             forms.update(enumerate(canonical_forms))
-        pending = self._resolve_from_store(items, pruning, forms)
-        # Within one run, isomorphic duplicates ride on the first copy of
-        # their class: enumerate one leader per store key, write it back,
-        # then serve the followers from the fresh entries.  When a leader
-        # fails, its key joins failed_keys and every remaining member of the
-        # class is dispatched together in the next round (they are known
-        # store misses — deferring them one by one would serialize a
-        # parallel run), so every round retires at least one block per key.
-        failed_keys: set = set()
-        while pending:
-            leaders, followers = self._split_unique_keys(
-                pending, pruning, forms, failed_keys
-            )
-            self._dispatch(algorithm, pruning, leaders)
-            self._write_back(leaders, pruning, forms)
-            for leader in leaders:
-                if leader.result is None:
-                    failed_keys.add(self._store_key(forms[leader.index], pruning))
-            if not followers:
-                break
-            pending = self._resolve_from_store(followers, pruning, forms)
-        return report
 
-    def _dispatch(self, algorithm, pruning: Optional[PruningConfig], items: List[BatchItem]) -> None:
-        """Run *items* through the sequential or parallel path."""
-        # jobs >= 2 goes through the pool even for a single block: only the
-        # parallel path can abandon a block that blows its timeout.
-        if self.jobs == 1 or not items:
-            self._run_sequential(algorithm, pruning, items)
-        else:
-            self._run_parallel(pruning, items)
+        # Within one run, isomorphic duplicates ride on the first copy of
+        # their class: enumerate one leader per store key; as each leader
+        # finishes, write it back and serve its followers from the fresh
+        # entry.  Followers of a failed leader are known store misses, so
+        # they are dispatched together in one trailing round (deferring them
+        # one by one would serialize a parallel run).
+        #
+        # Store resolution is *lazy*: the scheduler pulls blocks from this
+        # source as its submission window frees up, so canonicalization and
+        # store probes interleave with enumeration instead of forming an
+        # O(N) barrier in front of a large suite, and workers start on the
+        # first miss while later blocks are still being looked up.
+        followers_by_key: Dict[str, List[BatchItem]] = {}
+
+        def classified() -> Iterator[Tuple[BatchItem, bool]]:
+            for item in items:
+                if not self._resolve_from_store([item], pruning, forms):
+                    yield item, True  # served from the store
+                    continue
+                key = self._store_key(forms[item.index], pruning)
+                if key in followers_by_key:
+                    followers_by_key[key].append(item)
+                else:
+                    followers_by_key[key] = []
+                    yield item, False  # leader: dispatch it
+
+        deferred: List[BatchItem] = []
+        for item in self._stream_source(algorithm, pruning, classified()):
+            if item.cached:
+                yield item
+                continue
+            self._write_back([item], pruning, forms)
+            yield item
+            key = self._store_key(forms[item.index], pruning)
+            waiting = followers_by_key.pop(key, [])
+            if not waiting:
+                continue
+            if item.result is None:
+                deferred.extend(waiting)
+                continue
+            still_missing = self._resolve_from_store(waiting, pruning, forms)
+            for follower in waiting:
+                if follower.result is not None:
+                    yield follower
+            deferred.extend(still_missing)
+
+        for item in self._stream(algorithm, pruning, deferred):
+            self._write_back([item], pruning, forms)
+            yield item
 
     # ------------------------------------------------------------------ #
     # Memoization store integration
@@ -390,31 +548,6 @@ class BatchRunner:
             self.algorithm,
             request_fingerprint(self.constraints, pruning),
         )
-
-    def _split_unique_keys(
-        self,
-        pending: List[BatchItem],
-        pruning: Optional[PruningConfig],
-        forms: Dict[int, CanonicalForm],
-        failed_keys: set,
-    ) -> Tuple[List[BatchItem], List[BatchItem]]:
-        """Split *pending* into one leader per store key plus the followers.
-
-        Every member of a key that already failed becomes a leader: its
-        result will never appear in the store, so deferring would only cost
-        extra rounds.
-        """
-        leaders: List[BatchItem] = []
-        followers: List[BatchItem] = []
-        seen: set = set()
-        for item in pending:
-            key = self._store_key(forms[item.index], pruning)
-            if key in seen and key not in failed_keys:
-                followers.append(item)
-            else:
-                seen.add(key)
-                leaders.append(item)
-        return leaders, followers
 
     def _resolve_from_store(
         self,
@@ -489,13 +622,51 @@ class BatchRunner:
                 ),
             )
 
-    def _run_sequential(
+    # ------------------------------------------------------------------ #
+    # Execution paths
+    # ------------------------------------------------------------------ #
+    def _stream(
         self,
         algorithm,
         pruning: Optional[PruningConfig],
         items: List[BatchItem],
-    ) -> None:
-        for item in items:
+    ) -> Iterator[BatchItem]:
+        """Yield *items* as they finish, sequentially or through the pool."""
+        if not items:
+            return
+        yield from self._stream_source(
+            algorithm, pruning, ((item, False) for item in items)
+        )
+
+    def _stream_source(
+        self,
+        algorithm,
+        pruning: Optional[PruningConfig],
+        source: Iterator[Tuple[BatchItem, bool]],
+    ) -> Iterator[BatchItem]:
+        """Yield blocks from a lazy ``(item, already_resolved)`` source.
+
+        Already-resolved items (store hits) pass straight through; the rest
+        are enumerated.  The source is pulled incrementally, so store
+        lookups and canonicalization interleave with execution.
+        """
+        # jobs >= 2 goes through the pool even for a single block: only the
+        # parallel path can abandon a block that blows its timeout.
+        if self.jobs == 1:
+            yield from self._stream_sequential(algorithm, pruning, source)
+        else:
+            yield from self._stream_parallel(pruning, source)
+
+    def _stream_sequential(
+        self,
+        algorithm,
+        pruning: Optional[PruningConfig],
+        source: Iterator[Tuple[BatchItem, bool]],
+    ) -> Iterator[BatchItem]:
+        for item, resolved in source:
+            if resolved:
+                yield item
+                continue
             item.context = self.cache.get(item.graph, self.constraints)
             context = item.context if algorithm.capabilities.supports_context else None
             start = time.perf_counter()
@@ -508,60 +679,310 @@ class BatchRunner:
                         context=context,
                     )
                 )
-            except (ValueError, RecursionError) as exc:
+            except Exception as exc:  # same policy as the parallel path
                 item.error = f"{type(exc).__name__}: {exc}"
             item.elapsed_seconds = time.perf_counter() - start
             if self.timeout is not None and item.elapsed_seconds > self.timeout:
+                # The run cannot be interrupted in-process; keep the result,
+                # flag the overrun.
                 item.timed_out = True
+            yield item
 
-    def _run_parallel(
-        self, pruning: Optional[PruningConfig], items: List[BatchItem]
-    ) -> None:
-        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(items)))
-        abandoned = False
+    def _stream_parallel(
+        self,
+        pruning: Optional[PruningConfig],
+        source: Iterator[Tuple[BatchItem, bool]],
+    ) -> Iterator[BatchItem]:
+        """The streaming scheduler (see the module docstring).
+
+        Bounded submission window over a lazily pulled source, as-completed
+        collection, per-task deadlines measured from actual task start,
+        retry on a crashed worker (strikes charged to the blocks observed
+        running when the pool broke), pool recycling when a deadline fires
+        (a running task cannot be cancelled cooperatively, so its worker
+        must die).
+        """
+        window = max(WINDOW_FACTOR * self.jobs, 2)
+        retry: "deque[BatchItem]" = deque()  # crash/timeout resubmissions
+        staged: "deque[BatchItem]" = deque()  # pulled misses awaiting capacity
+        crash_charges: Dict[int, int] = {}  # strikes: observed-running crashes
+        crash_encounters: Dict[int, int] = {}  # any crash witnessed in flight
+        in_flight: Dict[Future, Tuple[BatchItem, str]] = {}
+        started: Dict[Future, float] = {}  # first observed running, monotonic
+        ready: List[BatchItem] = []  # store hits pulled from the source
+        exhausted = False
+        # Remaining tasks to run one-at-a-time after an *unattributable*
+        # crash (nobody was observed running): isolation makes any repeat
+        # crash attributable, so innocents keep their clean record.
+        quarantine = 0
+        pool = self._new_pool()
         try:
-            graph_dicts = [graph_to_dict(item.graph) for item in items]
-            futures = [
-                pool.submit(
-                    _enumerate_serialized_block,
-                    (self.algorithm, graph_dict, self.constraints, pruning),
+            while True:
+                # Top up the submission window, pulling the source lazily:
+                # at most `window` source pulls per iteration and `window`
+                # staged misses (plus the in-flight tasks) exist at a time,
+                # so million-block suites are never materialized up front.
+                pulls = 0
+                limit = 1 if quarantine else window
+                while True:
+                    if retry and len(in_flight) < limit:
+                        item = retry.popleft()
+                    elif staged and len(in_flight) < limit:
+                        item = staged.popleft()
+                    elif (
+                        not exhausted and pulls < window and len(staged) < window
+                    ):
+                        entry = next(source, None)
+                        if entry is None:
+                            exhausted = True
+                            continue
+                        item, resolved = entry
+                        pulls += 1
+                        if resolved:
+                            ready.append(item)
+                            continue
+                        if len(in_flight) >= limit:
+                            # No capacity yet: park the miss so the source
+                            # can keep serving store hits behind it.
+                            staged.append(item)
+                            continue
+                    else:
+                        break
+                    graph_dict = graph_to_dict(item.graph)
+                    try:
+                        future = pool.submit(
+                            _enumerate_serialized_block,
+                            (self.algorithm, graph_dict, self.constraints, pruning),
+                        )
+                    except BrokenExecutor:
+                        # The pool broke before we noticed; the in-flight
+                        # futures (if any) surface the crash below.
+                        retry.appendleft(item)
+                        break
+                    in_flight[future] = (item, json.dumps(graph_dict, sort_keys=True))
+
+                if ready:
+                    for item in ready:
+                        yield item
+                    ready.clear()
+                    if pulls >= window and not exhausted:
+                        # The pull cap — not capacity — ended the top-up: a
+                        # run of store hits is flowing.  Keep draining it
+                        # instead of blocking on the in-flight tasks.
+                        continue
+
+                if not in_flight:
+                    if retry:  # broken pool with nothing left in flight
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = self._new_pool()
+                        continue
+                    if exhausted and not staged:
+                        break
+                    continue  # source (or the staged misses) still has blocks
+
+                tick = (
+                    None
+                    if self.timeout is None
+                    else max(min(self.timeout / 10.0, 0.1), 0.005)
                 )
-                for item, graph_dict in zip(items, graph_dicts)
-            ]
-            for item, graph_dict, future in zip(items, graph_dicts, futures):
-                try:
-                    payload = future.result(timeout=self.timeout)
-                except FuturesTimeoutError:
+                done, _ = wait(list(in_flight), timeout=tick, return_when=FIRST_COMPLETED)
+
+                # (item, was_observed_running) casualties of a broken pool.
+                crashed: List[Tuple[BatchItem, bool]] = []
+                for future in done:
+                    item, fingerprint = in_flight.pop(future)
+                    was_running = started.pop(future, None) is not None
+                    finished = self._collect(future, item, fingerprint)
+                    if finished is None:
+                        crashed.append((item, was_running))
+                    else:
+                        quarantine = max(quarantine - 1, 0)
+                        yield finished
+
+                if crashed:
+                    # The pool is broken: every other in-flight future fails
+                    # with it.  Drain them (already-computed results survive),
+                    # then rebuild the pool and retry the casualties.
+                    if in_flight:
+                        wait(list(in_flight), timeout=_BROKEN_POOL_DRAIN_SECONDS)
+                        for future, (item, fingerprint) in list(in_flight.items()):
+                            was_running = started.pop(future, None) is not None
+                            finished = self._collect(future, item, fingerprint)
+                            if finished is None:
+                                crashed.append((item, was_running))
+                            else:
+                                yield finished
+                        in_flight.clear()
+                        started.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    failed, isolate = self._triage_crash(
+                        crashed, retry, crash_charges, crash_encounters
+                    )
+                    for item in failed:
+                        quarantine = max(quarantine - 1, 0)
+                        yield item
+                    quarantine += isolate
+                    if retry or not exhausted:
+                        pool = self._new_pool()
+                    continue
+
+                if not in_flight:
+                    continue
+
+                # Stamp a task when it is first observed running, capped at
+                # `jobs` stamps so the executor's one-deep call-queue buffer
+                # is never treated as executing.  The stamps drive both the
+                # deadline accounting and the crash attribution above.
+                now = time.monotonic()
+                for future in in_flight:
+                    if (
+                        future not in started
+                        and len(started) < self.jobs
+                        and future.running()
+                    ):
+                        started[future] = now
+
+                if self.timeout is None:
+                    continue
+                expired = [
+                    future
+                    for future, stamp in started.items()
+                    if now - stamp >= self.timeout and not future.done()
+                ]
+                if not expired:
+                    continue
+                for future in expired:
+                    item, _ = in_flight.pop(future)
+                    stamp = started.pop(future)
                     item.timed_out = True
-                    abandoned = True
-                    future.cancel()
-                    continue
-                except Exception as exc:  # worker-side failure, e.g. oracle limit
-                    item.error = f"{type(exc).__name__}: {exc}"
-                    continue
-                item.context = self.cache.get(
-                    item.graph,
-                    self.constraints,
-                    fingerprint=json.dumps(graph_dict, sort_keys=True),
-                )
-                item.result = EnumerationResult(
-                    cuts=[Cut.from_mask(item.context, mask) for mask in payload["masks"]],
-                    stats=payload["stats"],
-                    graph_name=payload["graph_name"],
-                    algorithm=payload["algorithm"],
-                )
-                item.elapsed_seconds = payload["stats"].elapsed_seconds
+                    item.elapsed_seconds = now - stamp
+                    quarantine = max(quarantine - 1, 0)
+                    yield item
+                # A running task cannot be cancelled cooperatively: kill the
+                # workers and rebuild the pool.  Innocent in-flight blocks
+                # are resubmitted with no crash penalty (results that landed
+                # between the wait() and now are kept as-is).
+                survivors: List[BatchItem] = []
+                for future, (item, fingerprint) in list(in_flight.items()):
+                    if future.done():
+                        finished = self._collect(future, item, fingerprint)
+                        if finished is not None:
+                            quarantine = max(quarantine - 1, 0)
+                            yield finished
+                            continue
+                    survivors.append(item)
+                in_flight.clear()
+                started.clear()
+                self._kill_pool(pool)
+                retry.extendleft(reversed(survivors))
+                pool = self._new_pool()
         finally:
-            if abandoned:
-                # A timed-out task cannot be cancelled cooperatively, and a
-                # worker stuck in it would also block interpreter exit (the
-                # executor joins its workers atexit) — kill the processes.
-                workers = list((getattr(pool, "_processes", None) or {}).values())
-                pool.shutdown(wait=False, cancel_futures=True)
-                for process in workers:
-                    process.terminate()
+            if in_flight:
+                # The consumer abandoned the stream with tasks still running.
+                self._kill_pool(pool)
             else:
                 pool.shutdown(wait=True, cancel_futures=True)
+
+    @staticmethod
+    def _triage_crash(
+        crashed: List[Tuple[BatchItem, bool]],
+        retry: "deque[BatchItem]",
+        charges: Dict[int, int],
+        encounters: Dict[int, int],
+    ) -> Tuple[List[BatchItem], int]:
+        """Requeue or fail the casualties of one broken-pool event.
+
+        A strike (*charges*) is issued only when the culprit is unambiguous:
+        the event had a sole casualty, or exactly one block was observed
+        *running* when the pool broke.  Everyone else is requeued
+        penalty-free, so one poison block can never burn an innocent
+        neighbour's retry — not even a slow innocent running right next to
+        it.  Ambiguous crashes (zero or several blocks observed running)
+        charge nobody and requeue the casualties for *isolated* re-runs —
+        the second number returned — so a repeat crash has exactly one
+        suspect.  The *encounters* cap bounds the worst case per block, so
+        the stream always terminates.  Returns the items whose error was
+        just sealed, plus the quarantine count.
+        """
+        suspects = sum(1 for _, was_running in crashed if was_running)
+        attributable = len(crashed) == 1 or suspects == 1
+        failed: List[BatchItem] = []
+        requeued: List[BatchItem] = []
+        for item, was_running in crashed:
+            encounters[item.index] = encounters.get(item.index, 0) + 1
+            if attributable and (was_running or len(crashed) == 1):
+                charges[item.index] = charges.get(item.index, 0) + 1
+            if charges.get(item.index, 0) >= _MAX_CRASH_CHARGES:
+                item.error = (
+                    "BrokenProcessPool: worker process crashed "
+                    f"{_MAX_CRASH_CHARGES} times while running this block"
+                )
+                failed.append(item)
+            elif encounters[item.index] >= _MAX_CRASH_ENCOUNTERS:
+                item.error = (
+                    "BrokenProcessPool: worker pool crashed "
+                    f"{_MAX_CRASH_ENCOUNTERS} times with this block in flight"
+                )
+                failed.append(item)
+            else:
+                requeued.append(item)
+        retry.extendleft(reversed(requeued))
+        return failed, (0 if attributable else len(requeued))
+
+    def _collect(
+        self,
+        future: Future,
+        item: BatchItem,
+        fingerprint: str,
+    ) -> Optional[BatchItem]:
+        """Turn a finished future into its item, or report a worker death.
+
+        Returns the item when it is ready to be yielded (success, worker
+        error, or completed-over-budget), ``None`` when the worker died and
+        the caller must triage the item for the crash-retry pass.
+        """
+        try:
+            payload = future.result(timeout=0)
+        except (BrokenExecutor, CancelledError, FuturesTimeoutError):
+            return None
+        except Exception as exc:  # worker-side failure, e.g. oracle limit
+            item.error = f"{type(exc).__name__}: {exc}"
+            return item
+        item.context = self.cache.get(
+            item.graph, self.constraints, fingerprint=fingerprint
+        )
+        item.result = EnumerationResult(
+            cuts=[Cut.from_mask(item.context, mask) for mask in payload["masks"]],
+            stats=payload["stats"],
+            graph_name=payload["graph_name"],
+            algorithm=payload["algorithm"],
+        )
+        item.elapsed_seconds = payload["stats"].elapsed_seconds
+        if (
+            self.timeout is not None
+            and float(payload.get("task_seconds", 0.0)) > self.timeout
+        ):
+            # Completed over budget between two scheduler ticks: keep the
+            # result, flag the overrun — identical to sequential semantics.
+            item.timed_out = True
+        return item
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        # max_workers is a cap: the executor spawns workers on demand, so a
+        # jobs-sized pool never over-provisions for a short queue.
+        return ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=self.mp_context
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        # A timed-out task cannot be cancelled cooperatively, and a worker
+        # stuck in it would also block interpreter exit (the executor joins
+        # its workers atexit) — kill the processes.
+        workers = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in workers:
+            process.terminate()
 
 
 def enumerate_batch(

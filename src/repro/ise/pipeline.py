@@ -95,13 +95,18 @@ def identify_instruction_set_extension(
     timeout: Optional[float] = None,
     store: Optional[ResultStore] = None,
     batch_runner: Optional[BatchRunner] = None,
+    progress=None,
 ) -> PipelineResult:
     """Run the full enumeration → scoring → selection pipeline.
 
     The enumeration of the profiled blocks goes through the engine's
-    :class:`~repro.engine.batch.BatchRunner`, so whole-application ISE
-    identification parallelizes across worker processes with ``jobs >= 2``
-    while producing results identical to the sequential run.
+    :class:`~repro.engine.batch.BatchRunner` streaming scheduler
+    (:meth:`~repro.engine.batch.BatchRunner.iter_run`), so whole-application
+    ISE identification parallelizes across worker processes with
+    ``jobs >= 2`` while producing results identical to the sequential run,
+    and — with a *store* attached — every finished block's result is
+    persisted as it completes: a crash mid-application loses none of the
+    already-enumerated blocks.
 
     Parameters
     ----------
@@ -123,10 +128,12 @@ def identify_instruction_set_extension(
     jobs:
         Number of enumeration worker processes (1 = in-process).
     timeout:
-        Optional per-block enumeration budget in seconds.  With ``jobs >= 2``
-        a block that blows it is abandoned and contributes no candidate cuts;
-        with ``jobs == 1`` the run cannot be interrupted, so the block is
-        only flagged and its cuts are kept.
+        Optional per-block enumeration budget in seconds, charged from the
+        moment the block's task starts (queue wait is excluded).  With
+        ``jobs >= 2`` a block still running at its deadline is abandoned and
+        contributes no candidate cuts; a block that *completes* over budget
+        (always the case with ``jobs == 1``, where the run cannot be
+        interrupted) is only flagged and its cuts are kept.
     store:
         Optional persistent memoization store
         (:class:`~repro.memo.store.ResultStore`); previously enumerated
@@ -134,6 +141,9 @@ def identify_instruction_set_extension(
     batch_runner:
         Pre-configured runner to use instead of building one from the
         preceding arguments (e.g. to share a context cache across calls).
+    progress:
+        Optional per-block callback ``progress(item, completed, total)``,
+        invoked as each block's enumeration finishes (completion order).
     """
     constraints = constraints or Constraints()
     runner = batch_runner or BatchRunner(
@@ -144,13 +154,15 @@ def identify_instruction_set_extension(
         timeout=timeout,
         store=store,
     )
-    report = runner.run(list(blocks))
+    # run() drains the stream (store write-back happens per item inside it)
+    # and restores input order: instruction naming below is deterministic.
+    items = runner.run(list(blocks), progress=progress).items
 
     extension = InstructionSetExtension(application=application_name)
     block_results: List[BlockResult] = []
     instruction_index = 0
 
-    for item in report.items:
+    for item in items:
         if item.error is not None:
             raise RuntimeError(
                 f"enumeration failed for block {item.graph_name!r}: {item.error}"

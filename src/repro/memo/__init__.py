@@ -32,6 +32,7 @@ from .dedup import (
     IsoClass,
     enumerate_deduplicated,
     group_by_isomorphism,
+    iter_enumerate_deduplicated,
     remap_masks,
 )
 from .store import (
@@ -54,6 +55,7 @@ __all__ = [
     "IsoClass",
     "enumerate_deduplicated",
     "group_by_isomorphism",
+    "iter_enumerate_deduplicated",
     "remap_masks",
     "STORE_FORMAT_VERSION",
     "ResultStore",

@@ -131,28 +131,18 @@ def remap_masks(
     ]
 
 
-def enumerate_deduplicated(
+def _prepare_dedup(
     blocks,
-    algorithm: Optional[str] = None,
-    constraints: Optional[Constraints] = None,
-    pruning: Optional[PruningConfig] = None,
-    store: Optional[ResultStore] = None,
-    jobs: int = 1,
-    timeout: Optional[float] = None,
-) -> DedupReport:
-    """Enumerate a workload with isomorphism-class deduplication.
-
-    Accepts everything :class:`~repro.engine.batch.BatchRunner` accepts (a
-    :class:`~repro.workloads.suite.WorkloadSuite`, graphs, ``(graph, count)``
-    pairs, profiled blocks).  One representative per isomorphism class is
-    enumerated — through the runner, so ``store``/``jobs``/``timeout`` all
-    apply — and the cut masks are remapped onto the other members.  Member
-    results carry the representative's statistics (the search was only run
-    once) and have ``item.deduplicated`` set.
-    """
+    algorithm: Optional[str],
+    constraints: Optional[Constraints],
+    pruning: Optional[PruningConfig],
+    store: Optional[ResultStore],
+    jobs: int,
+    timeout: Optional[float],
+):
+    """Shared setup of the dedup drivers: runner, items, classes, forms."""
     # Imported lazily: repro.engine.batch itself imports this package.
-    from ..engine.batch import BatchItem, BatchRunner, normalize_blocks
-    from ..core.cut import Cut
+    from ..engine.batch import BatchRunner, normalize_blocks
 
     runner = BatchRunner(
         algorithm=algorithm or _default_algorithm(),
@@ -162,21 +152,26 @@ def enumerate_deduplicated(
         timeout=timeout,
         store=store,
     )
-    items: List[BatchItem] = normalize_blocks(blocks)
+    items = normalize_blocks(blocks)
     classes, forms = group_by_isomorphism(
         [item.graph for item in items], runner.constraints
     )
-    report = DedupReport(
-        algorithm=runner.algorithm,
-        constraints=runner.constraints,
-        classes=classes,
-        items=items,
-    )
-    if not items:
-        return report
+    return runner, items, classes, forms
+
+
+def _stream_classes(runner, items, classes, forms, store):
+    """Yield items class by class as each representative's enumeration lands.
+
+    Representatives stream through :meth:`BatchRunner.iter_run` — no barrier
+    between isomorphism classes — and every member of a class is yielded
+    (cuts remapped through the canonical permutations) immediately after its
+    representative, so downstream consumers see completed work without
+    waiting for the whole workload.
+    """
+    from ..core.cut import Cut
 
     representatives = [items[cls.representative] for cls in classes]
-    rep_report = runner.run(
+    rep_stream = runner.iter_run(
         [(item.graph, item.execution_count) for item in representatives],
         canonical_forms=(
             [forms[cls.representative] for cls in classes]
@@ -184,8 +179,8 @@ def enumerate_deduplicated(
             else None
         ),
     )
-
-    for cls, rep_item in zip(classes, rep_report.items):
+    for rep_item in rep_stream:
+        cls = classes[rep_item.index]
         original_rep = items[cls.representative]
         original_rep.result = rep_item.result
         original_rep.context = rep_item.context
@@ -193,12 +188,14 @@ def enumerate_deduplicated(
         original_rep.timed_out = rep_item.timed_out
         original_rep.error = rep_item.error
         original_rep.cached = rep_item.cached
+        yield original_rep
         if rep_item.result is None:
             # The whole class fails with its representative.
             for index in cls.members:
                 if index != cls.representative:
                     items[index].timed_out = rep_item.timed_out
                     items[index].error = rep_item.error
+                    yield items[index]
             continue
         rep_form = forms[cls.representative]
         rep_masks = [cut.node_mask() for cut in rep_item.result.cuts]
@@ -218,6 +215,76 @@ def enumerate_deduplicated(
             )
             member.deduplicated = True
             member.elapsed_seconds = 0.0
+            yield member
+
+
+def iter_enumerate_deduplicated(
+    blocks,
+    algorithm: Optional[str] = None,
+    constraints: Optional[Constraints] = None,
+    pruning: Optional[PruningConfig] = None,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    progress=None,
+):
+    """Streaming variant of :func:`enumerate_deduplicated`.
+
+    Yields every block's :class:`~repro.engine.batch.BatchItem` in completion
+    order: each class representative as soon as its enumeration finishes,
+    followed immediately by the class members with remapped results.
+    *progress*, if given, is called as ``progress(item, completed, total)``
+    before each item is yielded (``total`` counts blocks, not classes).
+    """
+    runner, items, classes, forms = _prepare_dedup(
+        blocks, algorithm, constraints, pruning, store, jobs, timeout
+    )
+    total = len(items)
+    completed = 0
+    for item in _stream_classes(runner, items, classes, forms, store):
+        completed += 1
+        if progress is not None:
+            progress(item, completed, total)
+        yield item
+
+
+def enumerate_deduplicated(
+    blocks,
+    algorithm: Optional[str] = None,
+    constraints: Optional[Constraints] = None,
+    pruning: Optional[PruningConfig] = None,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    progress=None,
+) -> DedupReport:
+    """Enumerate a workload with isomorphism-class deduplication.
+
+    Accepts everything :class:`~repro.engine.batch.BatchRunner` accepts (a
+    :class:`~repro.workloads.suite.WorkloadSuite`, graphs, ``(graph, count)``
+    pairs, profiled blocks).  One representative per isomorphism class is
+    enumerated — through the runner's streaming scheduler, so
+    ``store``/``jobs``/``timeout`` all apply and classes complete
+    independently — and the cut masks are remapped onto the other members.
+    Member results carry the representative's statistics (the search was only
+    run once) and have ``item.deduplicated`` set.  Use
+    :func:`iter_enumerate_deduplicated` to consume blocks as they finish.
+    """
+    runner, items, classes, forms = _prepare_dedup(
+        blocks, algorithm, constraints, pruning, store, jobs, timeout
+    )
+    report = DedupReport(
+        algorithm=runner.algorithm,
+        constraints=runner.constraints,
+        classes=classes,
+        items=items,
+    )
+    total = len(items)
+    completed = 0
+    for item in _stream_classes(runner, items, classes, forms, store):
+        completed += 1
+        if progress is not None:
+            progress(item, completed, total)
     return report
 
 

@@ -275,10 +275,29 @@ class ResultStore:
         }
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of entries removed."""
+        """Delete every entry; returns the number of entries removed.
+
+        Also prunes the emptied two-level shard directories, so clearing
+        genuinely empties the cache root instead of stranding a skeleton of
+        ``ab/cd/`` directories.
+        """
         entries = self._entry_paths()
         for path in entries:
             path.unlink()
+        if self.root.is_dir():
+            # Children before parents; rmdir refuses non-empty directories
+            # (e.g. a concurrent writer landed a fresh entry), which is what
+            # we want — only genuinely emptied shards disappear.
+            for shard in sorted(self.root.glob("??/??"), reverse=True):
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+            for shard in sorted(self.root.glob("??"), reverse=True):
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
         self._memory.clear()
         return len(entries)
 

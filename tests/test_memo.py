@@ -213,6 +213,26 @@ class TestResultStore:
         assert store.clear() == 3
         assert len(store) == 0
 
+    def test_clear_prunes_empty_shard_directories(self, tmp_path):
+        root = tmp_path / "cache"
+        store = ResultStore(root)
+        for i in range(3):
+            store.put(ResultStore.make_key(f"{i}" * 64, "x", "y"), self._entry())
+        assert any(root.iterdir())
+        store.clear()
+        # `cache clear` genuinely empties the root: no stranded ab/cd dirs.
+        assert list(root.iterdir()) == []
+
+    def test_clear_keeps_shards_with_foreign_files(self, tmp_path):
+        root = tmp_path / "cache"
+        store = ResultStore(root)
+        key = ResultStore.make_key("e" * 64, "x", "y")
+        store.put(key, self._entry())
+        foreign = store.path_of(key).parent / "not-an-entry.txt"
+        foreign.write_text("keep me")
+        assert store.clear() == 1
+        assert foreign.exists()
+
     def test_memory_lru_bound(self, tmp_path):
         store = ResultStore(tmp_path / "cache", max_memory_entries=2)
         keys = [ResultStore.make_key(f"{i}" * 64, "x", "y") for i in range(4)]
