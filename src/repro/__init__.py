@@ -36,6 +36,9 @@ Sub-packages
 ``repro.memo``
     Canonical-form memoization: DFG canonicalization, a persistent
     content-addressed result store, and isomorphism-class deduplication.
+``repro.frontend``
+    Compiler frontend: Python bytecode → CFG → DFG ingestion with
+    line-event profiling and a bundled pure-Python kernel corpus.
 """
 
 from .core import (

@@ -13,8 +13,17 @@ Sub-commands
     Generate a synthetic workload suite and save it to a directory.
 ``kernels``
     List the built-in hand-written kernels.
+``frontend``
+    Compile Python source (or the bundled corpus) through the bytecode →
+    CFG → DFG frontend, optionally profile it, and feed it to the ISE
+    pipeline: ``repro frontend path.py --func f --profile --ise``.
 ``cache``
     Inspect, clear or warm the persistent enumeration-result cache.
+
+Targets: wherever a kernel name or DFG JSON file is accepted, a Python
+source target ``file.py::function`` is too (the function's largest basic
+block); ``--from-source`` on ``enumerate``/``ise`` forces that
+interpretation, and on ``ise`` expands every basic block of the function.
 
 Caching: ``enumerate``, ``compare`` and ``ise`` accept ``--cache-dir`` (or the
 ``REPRO_ENUM_CACHE`` environment variable) to memoize enumeration results
@@ -190,16 +199,54 @@ def _constraints_from(args: argparse.Namespace) -> Constraints:
     )
 
 
-def _load_target(target: str):
-    """Interpret *target* as a kernel name or a JSON graph file."""
-    if target in KERNEL_FACTORIES:
+def _load_python_target(path: Path, func: Optional[str]):
+    """Resolve ``file.py`` / ``file.py::func`` to the function's largest-block DFG."""
+    from .frontend import SourceResolutionError, graph_for_function, resolve_functions
+
+    try:
+        selected = resolve_functions(path, func)
+    except SourceResolutionError as exc:
+        raise SystemExit(str(exc))
+    if len(selected) > 1:
+        available = ", ".join(name for name, _ in selected)
+        raise SystemExit(
+            f"{path} defines {len(selected)} functions; pick one with "
+            f"'{path}::<name>' or --func (available: {available})"
+        )
+    name, fn = selected[0]
+    return graph_for_function(fn, name=name)
+
+
+def _load_target(target: str, from_source: bool = False):
+    """Interpret *target* as a kernel name, a DFG JSON file, or Python source.
+
+    Shared resolution helper for ``enumerate``/``ise``/``cache warm`` and the
+    ``frontend`` subcommand: Python sources are addressed as
+    ``file.py::function`` and contribute the function's largest basic block.
+    """
+    from .frontend import split_target
+
+    base, func = split_target(target)
+    # Built-in kernel names always resolve, even under --from-source (the
+    # flag governs how *paths* are interpreted, and kernels/sources can be
+    # mixed freely in one invocation).
+    if func is None and target in KERNEL_FACTORIES:
         return build_kernel(target)
-    path = Path(target)
+    path = Path(base)
     if path.exists():
-        return load_graph(path)
+        if path.suffix == ".py" or from_source or func is not None:
+            return _load_python_target(path, func)
+        if path.suffix == ".json":
+            return load_graph(path)
+        raise SystemExit(
+            f"target {target!r} exists but has unsupported extension "
+            f"{path.suffix or '(none)'!r}: expected a .json DFG file or a "
+            f".py source (address functions as 'file.py::function')"
+        )
     raise SystemExit(
         f"unknown target {target!r}: not a built-in kernel "
-        f"({', '.join(kernel_names())}) and not an existing file"
+        f"({', '.join(kernel_names())}), not an existing DFG JSON file, and "
+        "not an existing .py source"
     )
 
 
@@ -207,7 +254,7 @@ def _load_target(target: str):
 # Sub-commands
 # --------------------------------------------------------------------------- #
 def _cmd_enumerate(args: argparse.Namespace) -> int:
-    graph = _load_target(args.target)
+    graph = _load_target(args.target, from_source=getattr(args, "from_source", False))
     constraints = _constraints_from(args)
     store = _store_from(args)
     runner = BatchRunner(
@@ -280,11 +327,66 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_ise(args: argparse.Namespace) -> int:
-    blocks = [
-        BlockProfile(graph=_load_target(target), execution_count=args.execution_count)
-        for target in args.targets
+def _ise_blocks_from_target(target: str, args: argparse.Namespace) -> List[BlockProfile]:
+    """Expand one ``ise`` target into profiled blocks.
+
+    With ``--from-source``, a Python target contributes *every* non-trivial
+    basic block of the function (execution counts weighted by the CFG's
+    static profile); otherwise a target is one graph, as before.
+    """
+    from .frontend import SourceResolutionError, split_target, static_profile
+
+    base, func = split_target(target)
+    path = Path(base)
+    if getattr(args, "from_source", False) and path.suffix == ".py":
+        from .frontend import resolve_functions
+
+        try:
+            selected = resolve_functions(path, func)
+        except SourceResolutionError as exc:
+            raise SystemExit(str(exc))
+        blocks: List[BlockProfile] = []
+        for name, fn in selected:
+            profiled = static_profile(fn, name=name, default_count=args.execution_count)
+            blocks.extend(profiled.block_profiles())
+        if not blocks:
+            raise SystemExit(f"{target!r} produced no blocks with operations")
+        return blocks
+    return [
+        BlockProfile(
+            graph=_load_target(target, from_source=getattr(args, "from_source", False)),
+            execution_count=args.execution_count,
+        )
     ]
+
+
+def _write_instruction_dots(result, graphs: dict, dot_dir: str) -> int:
+    """One DOT file per selected custom instruction, cut vertices shaded."""
+    from .dfg.dot import to_dot
+
+    directory = Path(dot_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for instruction in result.extension.instructions:
+        graph = graphs.get(instruction.cut.graph_name)
+        if graph is None:
+            continue
+        text = to_dot(
+            graph,
+            highlight=instruction.cut.nodes,
+            title=f"{graph.name} / {instruction.name}",
+        )
+        (directory / f"{graph.name}__{instruction.name}.dot").write_text(
+            text, encoding="utf-8"
+        )
+        written += 1
+    return written
+
+
+def _cmd_ise(args: argparse.Namespace) -> int:
+    blocks: List[BlockProfile] = []
+    for target in args.targets:
+        blocks.extend(_ise_blocks_from_target(target, args))
     constraints = _constraints_from(args)
     result = identify_instruction_set_extension(
         blocks,
@@ -298,6 +400,23 @@ def _cmd_ise(args: argparse.Namespace) -> int:
         progress=_progress_from(args),
     )
     print(result.summary())
+    if args.dot_dir:
+        graphs = {}
+        duplicates = set()
+        for block in blocks:
+            existing = graphs.get(block.graph.name)
+            if existing is not None and existing is not block.graph:
+                duplicates.add(block.graph.name)
+            graphs[block.graph.name] = block.graph
+        if duplicates:
+            print(
+                "warning: multiple distinct blocks share the name(s) "
+                f"{', '.join(sorted(duplicates))}; their DOT renderings may "
+                "highlight the wrong graph",
+                file=sys.stderr,
+            )
+        written = _write_instruction_dots(result, graphs, args.dot_dir)
+        print(f"wrote {written} DOT file(s) to {args.dot_dir}", file=sys.stderr)
     return 0
 
 
@@ -310,6 +429,142 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     suite = WorkloadSuite(name=args.name, graphs=build_suite(config))
     suite.save(args.output)
     print(f"wrote {len(suite)} graphs to {args.output}")
+    return 0
+
+
+def _cmd_frontend(args: argparse.Namespace) -> int:
+    """Compile Python source through the frontend; optionally profile + ISE."""
+    import json as _json
+
+    from .frontend import (
+        CORPUS,
+        SourceResolutionError,
+        corpus_names,
+        profile_function,
+        profile_kernel,
+        split_target,
+        static_profile,
+    )
+    from .workloads.suite import WorkloadSuite as _Suite
+
+    explicit_calls = []
+    for text in args.call or []:
+        try:
+            parsed = _json.loads(text)
+        except ValueError as exc:
+            raise SystemExit(f"--call {text!r} is not valid JSON: {exc}")
+        if not isinstance(parsed, list):
+            raise SystemExit(
+                f"--call {text!r} must be a JSON argument *list*, e.g. '[255, 3]'"
+            )
+        explicit_calls.append(tuple(parsed))
+
+    profiled = []  # (name, ProfiledFunction)
+    if args.source == "corpus":
+        if explicit_calls:
+            print(
+                "note: corpus kernels are profiled with their bundled sample "
+                "calls; --call is ignored",
+                file=sys.stderr,
+            )
+        names = args.functions or corpus_names()
+        for name in names:
+            if name not in CORPUS:
+                raise SystemExit(
+                    f"unknown corpus kernel {name!r} (available: "
+                    f"{', '.join(corpus_names())})"
+                )
+            profiled.append((name, profile_kernel(name, profile=args.profile)))
+    else:
+        from .frontend import functions_in_module, load_module
+
+        base, func_in_target = split_target(args.source)
+        path = Path(base)
+        if not path.exists():
+            raise SystemExit(
+                f"source {args.source!r} does not exist (pass a .py file or "
+                "'corpus' for the bundled kernels)"
+            )
+        # Load (and execute) the module exactly once, however many functions
+        # are requested.
+        try:
+            module = load_module(path)
+        except SourceResolutionError as exc:
+            raise SystemExit(str(exc))
+        available = functions_in_module(module, include_private=True)
+        public = sorted(n for n in available if not n.startswith("_"))
+        wanted = args.functions or (
+            [func_in_target] if func_in_target else public
+        )
+        if not wanted:
+            raise SystemExit(f"{path} defines no public plain Python functions")
+        for name in wanted:
+            fn = available.get(name)
+            if fn is None:
+                raise SystemExit(
+                    f"{path} defines no function {name!r} "
+                    f"(available: {', '.join(public) or '(none)'})"
+                )
+            if args.profile:
+                if not explicit_calls:
+                    raise SystemExit(
+                        "--profile on a source file needs at least one "
+                        "--call '[arg, ...]' sample invocation"
+                    )
+                try:
+                    profiled.append(
+                        (name, profile_function(fn, explicit_calls, name=name))
+                    )
+                except Exception as exc:
+                    raise SystemExit(
+                        f"profiling {name}{fn.__code__.co_varnames[: fn.__code__.co_argcount]} "
+                        f"with the given --call arguments failed: {exc}"
+                    )
+            else:
+                profiled.append((name, static_profile(fn, name=name)))
+
+    blocks: List[BlockProfile] = []
+    for name, prof in profiled:
+        print(prof.dfgs.describe())
+        counts = prof.execution_counts()
+        if args.profile:
+            hot = ", ".join(
+                f"{graph_name}={count:.0f}" for graph_name, count in counts.items()
+            )
+            print(f"  profiled execution counts: {hot}")
+        blocks.extend(prof.block_profiles())
+    print(
+        f"{len(profiled)} function(s) -> {len(blocks)} basic block(s) "
+        "with operations"
+    )
+
+    if args.save_suite:
+        suite = _Suite(name=args.name, metadata={"source": args.source})
+        for block in blocks:
+            suite.add(block.graph, execution_count=block.execution_count)
+        suite.save(args.save_suite)
+        print(f"saved {len(suite)} block graph(s) to {args.save_suite}")
+
+    if args.ise:
+        if not blocks:
+            raise SystemExit("nothing to run ISE on: no blocks with operations")
+        result = identify_instruction_set_extension(
+            blocks,
+            _constraints_from(args),
+            selection=SelectionConfig(max_instructions=args.max_instructions),
+            application_name=args.name,
+            algorithm=args.algorithm,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            store=_store_from(args),
+            progress=_progress_from(args),
+        )
+        print()
+        print(result.summary())
+        if args.dot_dir:
+            graphs = {block.graph.name: block.graph for block in blocks}
+            written = _write_instruction_dots(result, graphs, args.dot_dir)
+            print(f"wrote {written} DOT file(s) to {args.dot_dir}", file=sys.stderr)
     return 0
 
 
@@ -391,8 +646,16 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     p_enum = subparsers.add_parser("enumerate", help="enumerate cuts of one basic block")
-    p_enum.add_argument("target", help="kernel name or path to a DFG JSON file")
+    p_enum.add_argument(
+        "target", help="kernel name, DFG JSON file, or Python source (file.py::func)"
+    )
     p_enum.add_argument("--show-cuts", action="store_true", help="print every cut")
+    p_enum.add_argument(
+        "--from-source",
+        action="store_true",
+        help="treat the target as Python source and enumerate the function's "
+        "largest basic block",
+    )
     _add_engine_arguments(p_enum)
     _add_constraint_arguments(p_enum)
     _add_cache_arguments(p_enum)
@@ -410,10 +673,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_ise = subparsers.add_parser("ise", help="identify an instruction set extension")
-    p_ise.add_argument("targets", nargs="+", help="kernel names or DFG JSON files")
+    p_ise.add_argument(
+        "targets",
+        nargs="+",
+        help="kernel names, DFG JSON files, or Python sources (file.py::func)",
+    )
     p_ise.add_argument("--name", default="application")
     p_ise.add_argument("--execution-count", type=float, default=1000.0)
     p_ise.add_argument("--max-instructions", type=int, default=4)
+    p_ise.add_argument(
+        "--from-source",
+        action="store_true",
+        help="treat Python targets as whole functions: every basic block "
+        "with operations joins the application",
+    )
+    p_ise.add_argument(
+        "--dot-dir",
+        default=None,
+        help="write one Graphviz DOT file per selected custom instruction "
+        "(cut vertices highlighted) into this directory",
+    )
     _add_engine_arguments(p_ise)
     _add_constraint_arguments(p_ise)
     _add_cache_arguments(p_ise)
@@ -429,6 +708,58 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ker = subparsers.add_parser("kernels", help="list built-in kernels")
     p_ker.set_defaults(func=_cmd_kernels)
+
+    p_front = subparsers.add_parser(
+        "frontend",
+        help="compile Python source (or 'corpus') through the bytecode -> "
+        "CFG -> DFG frontend",
+    )
+    p_front.add_argument(
+        "source",
+        help="a .py file (optionally file.py::func) or 'corpus' for the "
+        "bundled reference kernels",
+    )
+    p_front.add_argument(
+        "--func",
+        dest="functions",
+        action="append",
+        help="function to compile (repeatable; default: every function "
+        "defined in the file / every corpus kernel)",
+    )
+    p_front.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the function(s) and attribute execution counts to blocks "
+        "(corpus kernels use their bundled sample calls)",
+    )
+    p_front.add_argument(
+        "--call",
+        action="append",
+        help="one profiling invocation as a JSON argument list, e.g. "
+        "--call '[255, 3]' (repeatable; required with --profile on files)",
+    )
+    p_front.add_argument(
+        "--ise",
+        action="store_true",
+        help="run the ISE pipeline on the translated blocks",
+    )
+    p_front.add_argument(
+        "--save-suite",
+        default=None,
+        help="save the translated blocks (with execution counts) as a "
+        "workload suite directory",
+    )
+    p_front.add_argument("--name", default="frontend")
+    p_front.add_argument("--max-instructions", type=int, default=4)
+    p_front.add_argument(
+        "--dot-dir",
+        default=None,
+        help="with --ise: write one DOT file per selected instruction",
+    )
+    _add_engine_arguments(p_front)
+    _add_constraint_arguments(p_front)
+    _add_cache_arguments(p_front)
+    p_front.set_defaults(func=_cmd_frontend)
 
     p_cache = subparsers.add_parser(
         "cache", help="inspect, clear or warm the enumeration-result cache"

@@ -54,11 +54,14 @@ def to_dot(
         }
         shape = _SHAPES.get(node.opcode.value, "ellipse")
         attrs["shape"] = shape
+        styles = []
         if node.forbidden:
-            attrs["style"] = "dashed"
+            styles.append("dashed")
         if node.node_id in highlight_set:
-            attrs["style"] = "filled"
+            styles.append("filled")
             attrs["fillcolor"] = "lightblue"
+        if styles:
+            attrs["style"] = ",".join(styles)
         if node.live_out:
             attrs["peripheries"] = "2"
         if node.forbidden:

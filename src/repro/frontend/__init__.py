@@ -1,0 +1,84 @@
+"""Compiler frontend: Python bytecode → CFG → DFG ingestion with profiling.
+
+Turns plain Python functions into ISE-ready workloads, reproducing the
+"compiler toolchain" half of the paper's story on programs users actually
+write:
+
+``repro.frontend.cfg``
+    Bytecode decode (:mod:`dis`) and basic-block recovery (leader analysis,
+    successor edges, source-line coverage).
+``repro.frontend.dfg_from_bytecode``
+    Abstract operand-stack interpretation of each block, emitting
+    :class:`~repro.dfg.graph.DataFlowGraph` objects on the existing opcode
+    vocabulary; unsupported operations become opaque barriers, never errors.
+``repro.frontend.profile``
+    ``sys.monitoring`` / ``sys.settrace`` line-event profiling, attributing
+    execution counts to basic blocks.
+``repro.frontend.corpus``
+    ~10 bundled pure-Python reference kernels compiled into a persistable
+    :class:`~repro.workloads.suite.WorkloadSuite`.
+"""
+
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .corpus import (
+    CORPUS,
+    STRAIGHT_LINE_KERNELS,
+    CorpusKernel,
+    build_corpus_suite,
+    corpus_block_profiles,
+    corpus_names,
+    profile_kernel,
+)
+from .dfg_from_bytecode import (
+    BlockTranslator,
+    FunctionDFGs,
+    TranslatedBlock,
+    function_to_dfgs,
+    graph_for_function,
+    translate_block,
+)
+from .loader import (
+    SourceResolutionError,
+    functions_in_module,
+    load_module,
+    resolve_functions,
+    split_target,
+)
+from .profile import (
+    LineCounts,
+    ProfiledFunction,
+    attribute_to_blocks,
+    collect_line_counts,
+    profile_function,
+    static_profile,
+)
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "CORPUS",
+    "STRAIGHT_LINE_KERNELS",
+    "CorpusKernel",
+    "build_corpus_suite",
+    "corpus_block_profiles",
+    "corpus_names",
+    "profile_kernel",
+    "BlockTranslator",
+    "FunctionDFGs",
+    "TranslatedBlock",
+    "function_to_dfgs",
+    "graph_for_function",
+    "translate_block",
+    "SourceResolutionError",
+    "functions_in_module",
+    "load_module",
+    "resolve_functions",
+    "split_target",
+    "LineCounts",
+    "ProfiledFunction",
+    "attribute_to_blocks",
+    "collect_line_counts",
+    "profile_function",
+    "static_profile",
+]

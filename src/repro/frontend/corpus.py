@@ -1,0 +1,289 @@
+"""Bundled pure-Python reference kernels, compiled into an ISE workload suite.
+
+MiBench-style inner loops, written as plain Python functions so the whole
+frontend — bytecode decode, CFG recovery, DFG translation, line profiling —
+can be exercised on *real code* instead of hand-drawn graphs.  The kernels
+deliberately span the frontend's feature space:
+
+* straight-line bit-twiddling bodies (``crc32_step``, ``popcount32``,
+  ``bit_reverse8``, ``xorshift32``, ``blowfish_mix``, ``fir_tap4``,
+  ``adler32_step``) — single basic block, fully supported opcodes, ideal
+  custom-instruction candidates;
+* branchless saturating/clamping arithmetic (``saturating_add``,
+  ``clamp_diff``) — compares feeding arithmetic;
+* control-flow kernels (``adpcm_round`` with conditionals,
+  ``checksum_loop`` with a ``while`` loop) — multi-block CFGs whose hot
+  blocks the profiler must find.
+
+Every kernel ships with representative sample calls used both as a
+correctness smoke (the functions really run) and as the profiling workload,
+so :func:`build_corpus_suite` produces a
+:class:`~repro.workloads.suite.WorkloadSuite` with measured per-block
+execution counts persisted in the suite metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..ise.pipeline import BlockProfile
+from ..workloads.suite import WorkloadSuite
+from .profile import ProfiledFunction, profile_function, static_profile
+
+_MASK32 = 0xFFFFFFFF
+
+
+# --------------------------------------------------------------------------- #
+# The kernels (plain Python, frontend-translatable)
+# --------------------------------------------------------------------------- #
+def crc32_step(crc, data, poly):
+    """One table-less CRC-32 bit step (matches ``workloads.kernels.crc32_step``)."""
+    bit = data & 1
+    lsb = crc & 1
+    t = lsb ^ bit
+    mask = -t
+    sel = poly & mask
+    shifted = crc >> 1
+    return shifted ^ sel
+
+
+def popcount32(x):
+    """SWAR population count of a 32-bit word."""
+    x = x - ((x >> 1) & 0x55555555)
+    x = (x & 0x33333333) + ((x >> 2) & 0x33333333)
+    x = (x + (x >> 4)) & 0x0F0F0F0F
+    return (x * 0x01010101) >> 24
+
+
+def fir_tap4(acc, s0, c0, s1, c1, s2, c2, s3, c3):
+    """Four multiply-accumulate taps of a FIR filter."""
+    acc = acc + s0 * c0
+    acc = acc + s1 * c1
+    acc = acc + s2 * c2
+    acc = acc + s3 * c3
+    return acc
+
+
+def saturating_add(a, b, lo, hi):
+    """Branchless saturating addition: compares steer the arithmetic."""
+    s = a + b
+    below = s < lo
+    above = s > hi
+    inside = 1 - below - above
+    return s * inside + lo * below + hi * above
+
+
+def clamp_diff(a, b, lo, hi):
+    """Absolute-difference-then-clamp, branchless."""
+    d = a - b
+    neg = d < 0
+    mag = d - 2 * d * neg
+    over = mag > hi
+    under = mag < lo
+    keep = 1 - over - under
+    return mag * keep + hi * over + lo * under
+
+
+def bit_reverse8(x):
+    """Reverse the bits of one byte with the classic mask-shift ladder."""
+    x = ((x & 0xF0) >> 4) | ((x & 0x0F) << 4)
+    x = ((x & 0xCC) >> 2) | ((x & 0x33) << 2)
+    x = ((x & 0xAA) >> 1) | ((x & 0x55) << 1)
+    return x
+
+
+def xorshift32(x):
+    """One xorshift RNG round (masked to 32 bits)."""
+    x = (x ^ (x << 13)) & 0xFFFFFFFF
+    x = x ^ (x >> 17)
+    x = (x ^ (x << 5)) & 0xFFFFFFFF
+    return x
+
+
+def blowfish_mix(xl, xr, p, s0, s1):
+    """A Blowfish-style Feistel half-round mix (xor/add/shift network)."""
+    xl = xl ^ p
+    a = (xl >> 24) & 0xFF
+    b = (xl >> 16) & 0xFF
+    f = ((s0 + a) ^ (s1 + b)) & 0xFFFFFFFF
+    xr = xr ^ f
+    return (xl + xr) & 0xFFFFFFFF
+
+
+def adler32_step(a, b, byte):
+    """One byte of an Adler-32 checksum (add/modulo pair)."""
+    a = (a + byte) % 65521
+    b = (b + a) % 65521
+    return (b << 16) | a
+
+
+def adpcm_round(delta, step, valpred):
+    """IMA-ADPCM-style predictor update with real conditionals."""
+    vpdiff = step >> 3
+    if delta & 4:
+        vpdiff = vpdiff + step
+    if delta & 2:
+        vpdiff = vpdiff + (step >> 1)
+    if delta & 1:
+        vpdiff = vpdiff + (step >> 2)
+    if delta & 8:
+        valpred = valpred - vpdiff
+    else:
+        valpred = valpred + vpdiff
+    if valpred > 32767:
+        valpred = 32767
+    elif valpred < -32768:
+        valpred = -32768
+    return valpred
+
+
+def checksum_loop(n, seed):
+    """A rolling checksum over ``n`` synthetic items (hot ``while`` body)."""
+    acc = seed
+    i = 0
+    while i < n:
+        acc = (acc + ((acc << 5) ^ i)) & 0xFFFFFFFF
+        i = i + 1
+    return acc
+
+
+# --------------------------------------------------------------------------- #
+# Corpus registry
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CorpusKernel:
+    """One reference kernel: the function plus its profiling workload."""
+
+    name: str
+    fn: Callable
+    calls: Tuple[Tuple, ...]
+    description: str = ""
+
+    def smoke(self) -> List[object]:
+        """Run every sample call (sanity: the kernels are real programs)."""
+        return [self.fn(*args) for args in self.calls]
+
+
+def _kernel(fn: Callable, calls: Sequence[Tuple], description: str) -> CorpusKernel:
+    return CorpusKernel(
+        name=fn.__name__, fn=fn, calls=tuple(tuple(c) for c in calls),
+        description=description,
+    )
+
+
+CORPUS: Dict[str, CorpusKernel] = {
+    kernel.name: kernel
+    for kernel in (
+        _kernel(
+            crc32_step,
+            [(0xDEADBEEF, 0x5A, 0xEDB88320), (0x12345678, 0x01, 0xEDB88320)],
+            "table-less CRC-32 bit step",
+        ),
+        _kernel(
+            popcount32,
+            [(0xFFFFFFFF,), (0x12345678,), (0,)],
+            "SWAR 32-bit population count",
+        ),
+        _kernel(
+            fir_tap4,
+            [(0, 3, 5, -2, 7, 11, 1, 4, -6), (100, 1, 2, 3, 4, 5, 6, 7, 8)],
+            "four FIR multiply-accumulate taps",
+        ),
+        _kernel(
+            saturating_add,
+            [(100, 50, 0, 255), (200, 100, 0, 255), (-10, 5, 0, 255)],
+            "branchless saturating addition",
+        ),
+        _kernel(
+            clamp_diff,
+            [(90, 20, 5, 60), (3, 1, 5, 60), (20, 90, 5, 60)],
+            "branchless absolute-difference clamp",
+        ),
+        _kernel(
+            bit_reverse8,
+            [(0b10110001,), (0xFF,), (0x01,)],
+            "8-bit bit reversal ladder",
+        ),
+        _kernel(
+            xorshift32,
+            [(2463534242,), (88172645463325252 & _MASK32,)],
+            "xorshift32 RNG round",
+        ),
+        _kernel(
+            blowfish_mix,
+            [(0x01234567, 0x89ABCDEF, 0x243F6A88, 0x3707344, 0x13198A2E)],
+            "Blowfish-style Feistel mix",
+        ),
+        _kernel(
+            adler32_step,
+            [(1, 0, 0x61), (6553, 1234, 0xFF)],
+            "Adler-32 checksum byte step",
+        ),
+        _kernel(
+            adpcm_round,
+            [(d, 16, 100) for d in range(8)],
+            "ADPCM predictor update (conditionals)",
+        ),
+        _kernel(
+            checksum_loop,
+            [(32, 0xABCD), (8, 1)],
+            "rolling checksum while-loop",
+        ),
+    )
+}
+
+#: Kernels whose whole body is one straight-line basic block; their frontend
+#: DFGs are canonically identical to hand-built builder twins (tested).
+STRAIGHT_LINE_KERNELS: Tuple[str, ...] = (
+    "crc32_step",
+    "popcount32",
+    "fir_tap4",
+    "saturating_add",
+    "clamp_diff",
+    "bit_reverse8",
+    "xorshift32",
+    "blowfish_mix",
+    "adler32_step",
+)
+
+
+def corpus_names() -> List[str]:
+    """Names of the bundled kernels, sorted."""
+    return sorted(CORPUS)
+
+
+def profile_kernel(name: str, profile: bool = True) -> ProfiledFunction:
+    """Translate (and optionally profile) one corpus kernel."""
+    kernel = CORPUS[name]
+    if profile:
+        return profile_function(kernel.fn, kernel.calls, name=kernel.name)
+    return static_profile(kernel.fn, name=kernel.name)
+
+
+def corpus_block_profiles(profile: bool = True) -> List[BlockProfile]:
+    """Every non-trivial block of every corpus kernel, as pipeline inputs."""
+    profiles: List[BlockProfile] = []
+    for name in corpus_names():
+        profiles.extend(profile_kernel(name, profile=profile).block_profiles())
+    return profiles
+
+
+def build_corpus_suite(
+    profile: bool = True, name: str = "frontend_corpus"
+) -> WorkloadSuite:
+    """Compile the whole corpus into a persistable :class:`WorkloadSuite`.
+
+    Per-block execution counts (measured when *profile* is true, uniform
+    otherwise) are stored as suite ``execution_counts`` so they survive
+    :meth:`WorkloadSuite.save` / :meth:`WorkloadSuite.load` round-trips.
+    """
+    suite = WorkloadSuite(name=name, metadata={"source": "repro.frontend.corpus"})
+    for kernel_name in corpus_names():
+        profiled = profile_kernel(kernel_name, profile=profile)
+        for block_profile in profiled.block_profiles():
+            suite.add(block_profile.graph)
+            suite.set_execution_count(
+                block_profile.graph.name, block_profile.execution_count
+            )
+    return suite

@@ -1,0 +1,671 @@
+"""Abstract stack interpretation: bytecode basic blocks → data-flow graphs.
+
+The second half of the compiler frontend.  Each :class:`~repro.frontend.cfg.BasicBlock`
+is interpreted symbolically: the operand stack holds DFG vertex ids instead of
+values, loads of locals/globals materialise ``INPUT`` vertices, ``LOAD_CONST``
+materialises ``CONSTANT`` vertices (deduplicated per block, like a constant
+pool), and arithmetic/compare/unary bytecodes emit operation vertices mapped
+onto the existing :class:`~repro.dfg.opcodes.Opcode` enum.
+
+Design decisions, in the order they matter:
+
+* **Unsupported operations are lowered, never rejected.**  A call, subscript,
+  attribute access or container build becomes an *opaque barrier*: values
+  consumed by it flow into a forbidden vertex (``CALL``/``LOAD``/``STORE`` —
+  the in-graph equivalent of the paper's SINK barrier, kept out of every cut
+  but kept *in* the graph so convexity around it is respected), and values it
+  produces appear as fresh external ``INPUT`` vertices or forbidden result
+  vertices (the SOURCE-barrier side).  The literal ``Opcode.SOURCE``/``SINK``
+  opcodes are reserved for graph augmentation and are deliberately not used
+  here — an in-block artificial vertex would be invisible to ``Oext`` and
+  break the rooted-graph invariants.
+* **Locals are SSA-like.**  Every store rebinds the name to the producing
+  vertex; a later load reuses that vertex.  A load of a name never stored in
+  the block is a live-in and becomes an ``INPUT`` vertex.
+* **Liveness decides ``live_out``.**  A backward may-live fixpoint over the
+  CFG marks the final in-block binding of every variable that some other
+  block may read; returned values are always live-out.  Leftover operand-stack
+  entries at a block boundary (values flowing to a successor block) are
+  marked live-out as well.
+* **Version tolerance.**  The per-instruction dispatch is keyed on opnames
+  and argreprs, not opcode numbers, so the translator handles the CPython
+  3.10, 3.11 and 3.12 dialects — and the tests can replay foreign-version
+  instruction streams on any interpreter.
+"""
+
+from __future__ import annotations
+
+import dis
+import types
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..dfg.graph import DataFlowGraph
+from ..dfg.opcodes import Opcode
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+
+# --------------------------------------------------------------------------- #
+# Opcode mapping tables
+# --------------------------------------------------------------------------- #
+#: ``BINARY_OP`` symbol (3.11+ ``argrepr``, ``=`` suffix stripped for the
+#: in-place forms) → DFG opcode.
+BINARY_SYMBOL_TO_OPCODE: Dict[str, Opcode] = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "//": Opcode.DIV,
+    "%": Opcode.REM,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+}
+
+#: 3.10 dedicated binary/in-place opnames → DFG opcode.
+LEGACY_BINARY_TO_OPCODE: Dict[str, Opcode] = {
+    "BINARY_ADD": Opcode.ADD,
+    "BINARY_SUBTRACT": Opcode.SUB,
+    "BINARY_MULTIPLY": Opcode.MUL,
+    "BINARY_TRUE_DIVIDE": Opcode.DIV,
+    "BINARY_FLOOR_DIVIDE": Opcode.DIV,
+    "BINARY_MODULO": Opcode.REM,
+    "BINARY_AND": Opcode.AND,
+    "BINARY_OR": Opcode.OR,
+    "BINARY_XOR": Opcode.XOR,
+    "BINARY_LSHIFT": Opcode.SHL,
+    "BINARY_RSHIFT": Opcode.SHR,
+}
+LEGACY_BINARY_TO_OPCODE.update(
+    {
+        name.replace("BINARY_", "INPLACE_", 1): opcode
+        for name, opcode in list(LEGACY_BINARY_TO_OPCODE.items())
+    }
+)
+
+#: ``COMPARE_OP`` argval → DFG opcode (stable across 3.10 – 3.12).
+COMPARE_TO_OPCODE: Dict[str, Opcode] = {
+    "<": Opcode.LT,
+    "<=": Opcode.LE,
+    ">": Opcode.GT,
+    ">=": Opcode.GE,
+    "==": Opcode.EQ,
+    "!=": Opcode.NE,
+}
+
+#: Unary opnames → DFG opcode (``UNARY_POSITIVE`` is the identity).
+UNARY_TO_OPCODE: Dict[str, Opcode] = {
+    "UNARY_NEGATIVE": Opcode.NEG,
+    "UNARY_INVERT": Opcode.NOT,
+    "UNARY_NOT": Opcode.NOT,
+}
+
+#: Opnames that neither touch the modelled stack nor emit vertices.
+_NOP_OPNAMES = frozenset(
+    {
+        "RESUME",
+        "NOP",
+        "CACHE",
+        "PRECALL",
+        "KW_NAMES",
+        "EXTENDED_ARG",
+        "MAKE_CELL",
+        "COPY_FREE_VARS",
+        "GEN_START",
+        "SETUP_ANNOTATIONS",
+        "JUMP_FORWARD",
+        "JUMP_BACKWARD",
+        "JUMP_BACKWARD_NO_INTERRUPT",
+        "JUMP_ABSOLUTE",
+        "UNARY_POSITIVE",
+        "GET_ITER",  # the iterator stands for the iterable it wraps
+    }
+)
+
+#: Stack sentinel for CPython's internal NULL push (callable conventions).
+_NULL = object()
+
+StackValue = object  # vertex id (int) or the _NULL sentinel
+
+
+class TranslationError(ValueError):
+    """Raised when an instruction stream cannot be interpreted at all."""
+
+
+# --------------------------------------------------------------------------- #
+# Per-block liveness (decides which stored locals are live_out)
+# --------------------------------------------------------------------------- #
+_READ_OPNAMES = frozenset({"LOAD_FAST", "LOAD_NAME", "LOAD_DEREF", "LOAD_CLOSURE"})
+_WRITE_OPNAMES = frozenset({"STORE_FAST", "STORE_NAME", "STORE_DEREF"})
+
+
+def compute_live_out_vars(cfg: ControlFlowGraph) -> List[Set[str]]:
+    """May-live local variables at each block's exit (backward fixpoint)."""
+    use: List[Set[str]] = []
+    defs: List[Set[str]] = []
+    for block in cfg.blocks:
+        used: Set[str] = set()
+        defined: Set[str] = set()
+        for instr in block.instructions:
+            name = instr.argval if isinstance(instr.argval, str) else None
+            if name is None:
+                continue
+            if instr.opname in _READ_OPNAMES and name not in defined:
+                used.add(name)
+            elif instr.opname in _WRITE_OPNAMES:
+                defined.add(name)
+        use.append(used)
+        defs.append(defined)
+
+    live_in: List[Set[str]] = [set() for _ in cfg.blocks]
+    live_out: List[Set[str]] = [set() for _ in cfg.blocks]
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            i = block.index
+            out: Set[str] = set()
+            for succ in block.successors:
+                out |= live_in[succ]
+            inn = use[i] | (out - defs[i])
+            if out != live_out[i] or inn != live_in[i]:
+                live_out[i], live_in[i] = out, inn
+                changed = True
+    return live_out
+
+
+# --------------------------------------------------------------------------- #
+# The abstract interpreter
+# --------------------------------------------------------------------------- #
+class BlockTranslator:
+    """Translate one basic block's instructions into a :class:`DataFlowGraph`.
+
+    The translator is forgiving by construction: any opname it does not know
+    is handled by the generic opaque-barrier fallback using the instruction's
+    conservative stack effect, so new CPython dialects degrade into coarser
+    graphs instead of failures.
+    """
+
+    def __init__(self, name: str, live_out_vars: Optional[Set[str]] = None) -> None:
+        self.graph = DataFlowGraph(name=name)
+        self.stack: List[StackValue] = []
+        self.env: Dict[str, int] = {}
+        self.stored: Dict[str, int] = {}
+        self.live_out_vars: Set[str] = set(live_out_vars or ())
+        self._const_nodes: Dict[str, int] = {}
+        self._input_nodes: Dict[str, int] = {}
+        self._stack_in_count = 0
+        self.warnings: List[str] = []
+
+    # -- stack helpers -------------------------------------------------- #
+    def push(self, value: StackValue) -> None:
+        self.stack.append(value)
+
+    def pop(self) -> StackValue:
+        """Pop a value, synthesizing a live-in for stack underflow.
+
+        A block may start executing with values left on the stack by its
+        predecessors (loop iterators, short-circuit operands...).  Those are
+        modelled as external ``INPUT`` vertices.
+        """
+        if not self.stack:
+            name = f"stack_in{self._stack_in_count}"
+            self._stack_in_count += 1
+            return self._input(name)
+        return self.stack.pop()
+
+    def pop_nodes(self, count: int) -> List[int]:
+        """Pop *count* values and keep the real vertices (NULLs dropped)."""
+        values = [self.pop() for _ in range(count)]
+        values.reverse()
+        return [v for v in values if isinstance(v, int)]
+
+    # -- vertex helpers -------------------------------------------------- #
+    def _input(self, name: str) -> int:
+        node = self._input_nodes.get(name)
+        if node is None:
+            node = self.graph.add_node(Opcode.INPUT, name=name)
+            self._input_nodes[name] = node
+        return node
+
+    def _const(self, value: object) -> int:
+        key = f"{type(value).__name__}:{value!r}"
+        node = self._const_nodes.get(key)
+        if node is None:
+            node = self.graph.add_node(Opcode.CONSTANT, name=repr(value))
+            self._const_nodes[key] = node
+        return node
+
+    def _operation(self, opcode: Opcode, operands: Sequence[int], name: Optional[str] = None) -> int:
+        node = self.graph.add_node(opcode, name=name)
+        for operand in operands:
+            if operand != node:
+                self.graph.add_edge(operand, node)
+        return node
+
+    def _barrier(self, opcode: Opcode, operands: Sequence[int], name: str) -> int:
+        """A forbidden vertex consuming *operands* (the SINK side of a barrier)."""
+        node = self.graph.add_node(opcode, name=name, forbidden=True)
+        for operand in operands:
+            if operand != node:
+                self.graph.add_edge(operand, node)
+        return node
+
+    def mark_live_out(self, value: StackValue) -> None:
+        if isinstance(value, int) and self.graph.node(value).is_operation:
+            self.graph.set_live_out(value, True)
+
+    # -- per-instruction dispatch ---------------------------------------- #
+    def execute(self, instr: dis.Instruction) -> None:
+        opname = instr.opname
+        if opname in _NOP_OPNAMES:
+            return
+        handler = getattr(self, f"_op_{opname.lower()}", None)
+        if handler is not None:
+            handler(instr)
+            return
+        if opname in LEGACY_BINARY_TO_OPCODE:
+            self._binary(LEGACY_BINARY_TO_OPCODE[opname])
+            return
+        if opname in UNARY_TO_OPCODE:
+            operand = self.pop()
+            operands = [operand] if isinstance(operand, int) else []
+            self.push(self._operation(UNARY_TO_OPCODE[opname], operands))
+            return
+        self._opaque_fallback(instr)
+
+    # loads ---------------------------------------------------------------
+    def _load_name_like(self, instr: dis.Instruction) -> None:
+        name = str(instr.argval)
+        node = self.env.get(name)
+        if node is None:
+            node = self._input(name)
+        self.push(node)
+
+    _op_load_fast = _load_name_like
+    _op_load_name = _load_name_like
+    _op_load_deref = _load_name_like
+    _op_load_closure = _load_name_like
+    # 3.12 super-instruction: always de-specialised by dis, kept for safety.
+    _op_load_fast_check = _load_name_like
+
+    def _op_load_global(self, instr: dis.Instruction) -> None:
+        # 3.11+: the low arg bit (rendered as "NULL + name") pushes a NULL
+        # before the global.  Detect via argrepr so foreign streams work.
+        if "NULL + " in (instr.argrepr or ""):
+            self.push(_NULL)
+        self.push(self._input(str(instr.argval)))
+
+    def _op_load_const(self, instr: dis.Instruction) -> None:
+        self.push(self._const(instr.argval))
+
+    def _op_push_null(self, instr: dis.Instruction) -> None:
+        self.push(_NULL)
+
+    def _op_load_attr(self, instr: dis.Instruction) -> None:
+        obj = self.pop()
+        operands = [obj] if isinstance(obj, int) else []
+        result = self._barrier(Opcode.LOAD, operands, name=f"attr_{instr.argval}")
+        if "NULL|self + " in (instr.argrepr or ""):  # 3.12 method-call form
+            self.push(_NULL)
+        self.push(result)
+
+    def _op_load_method(self, instr: dis.Instruction) -> None:  # 3.10 / 3.11
+        obj = self.pop()
+        operands = [obj] if isinstance(obj, int) else []
+        method = self._barrier(Opcode.LOAD, operands, name=f"method_{instr.argval}")
+        self.push(_NULL)
+        self.push(method)
+
+    # stores --------------------------------------------------------------
+    def _store_name_like(self, instr: dis.Instruction) -> None:
+        name = str(instr.argval)
+        value = self.pop()
+        if not isinstance(value, int):
+            return
+        self.env[name] = value
+        self.stored[name] = value
+        if name in self.live_out_vars:
+            self.mark_live_out(value)
+
+    _op_store_fast = _store_name_like
+    _op_store_name = _store_name_like
+    _op_store_deref = _store_name_like
+
+    def _op_store_global(self, instr: dis.Instruction) -> None:
+        value = self.pop()
+        self.mark_live_out(value)
+
+    def _op_store_subscr(self, instr: dis.Instruction) -> None:
+        # Stack: container, index, value → pops 3 (value below container/index).
+        index = self.pop()
+        container = self.pop()
+        value = self.pop()
+        operands = [v for v in (container, index, value) if isinstance(v, int)]
+        self._barrier(Opcode.STORE, operands, name="store_subscr")
+
+    # arithmetic ----------------------------------------------------------
+    def _binary(self, opcode: Opcode) -> None:
+        rhs = self.pop()
+        lhs = self.pop()
+        operands = [v for v in (lhs, rhs) if isinstance(v, int)]
+        self.push(self._operation(opcode, operands))
+
+    def _op_binary_op(self, instr: dis.Instruction) -> None:  # 3.11+
+        symbol = (instr.argrepr or "").strip().rstrip("=")
+        opcode = BINARY_SYMBOL_TO_OPCODE.get(symbol)
+        if opcode is None:  # **, @, unknown/missing symbol → opaque barrier
+            self.warnings.append(
+                f"opaque lowering of BINARY_OP {symbol or '<no symbol>'!r}"
+            )
+            operands = self.pop_nodes(2)
+            self.push(
+                self._barrier(
+                    Opcode.CALL, operands, name=f"binop_{symbol or 'unknown'}"
+                )
+            )
+            return
+        self._binary(opcode)
+
+    def _op_compare_op(self, instr: dis.Instruction) -> None:
+        symbol = str(instr.argval).strip()
+        opcode = COMPARE_TO_OPCODE.get(symbol)
+        if opcode is None:
+            self.warnings.append(f"opaque lowering of COMPARE_OP {symbol!r}")
+            operands = self.pop_nodes(2)
+            self.push(self._barrier(Opcode.CALL, operands, name=f"cmp_{symbol}"))
+            return
+        self._binary(opcode)
+
+    def _op_is_op(self, instr: dis.Instruction) -> None:
+        self._binary(Opcode.NE if instr.argval else Opcode.EQ)
+
+    def _op_contains_op(self, instr: dis.Instruction) -> None:
+        operands = self.pop_nodes(2)
+        self.push(self._barrier(Opcode.CALL, operands, name="contains"))
+
+    def _op_binary_subscr(self, instr: dis.Instruction) -> None:
+        index = self.pop()
+        container = self.pop()
+        operands = [v for v in (container, index) if isinstance(v, int)]
+        self.push(self._barrier(Opcode.LOAD, operands, name="subscr"))
+
+    def _op_binary_slice(self, instr: dis.Instruction) -> None:  # 3.12
+        operands = self.pop_nodes(3)
+        self.push(self._barrier(Opcode.LOAD, operands, name="slice"))
+
+    # stack shuffling ------------------------------------------------------
+    def _op_pop_top(self, instr: dis.Instruction) -> None:
+        self.pop()
+
+    def _op_copy(self, instr: dis.Instruction) -> None:  # 3.11+
+        depth = int(instr.argval or 1)
+        while len(self.stack) < depth:
+            self.stack.insert(0, self._input(f"stack_in{self._stack_in_count}"))
+            self._stack_in_count += 1
+        self.push(self.stack[-depth])
+
+    def _op_swap(self, instr: dis.Instruction) -> None:  # 3.11+
+        depth = int(instr.argval or 2)
+        while len(self.stack) < depth:
+            self.stack.insert(0, self._input(f"stack_in{self._stack_in_count}"))
+            self._stack_in_count += 1
+        self.stack[-depth], self.stack[-1] = self.stack[-1], self.stack[-depth]
+
+    def _op_dup_top(self, instr: dis.Instruction) -> None:  # 3.10
+        top = self.pop()
+        self.push(top)
+        self.push(top)
+
+    def _op_dup_top_two(self, instr: dis.Instruction) -> None:  # 3.10
+        b = self.pop()
+        a = self.pop()
+        for value in (a, b, a, b):
+            self.push(value)
+
+    def _op_rot_two(self, instr: dis.Instruction) -> None:  # 3.10
+        b, a = self.pop(), self.pop()
+        self.push(b)
+        self.push(a)
+
+    def _op_rot_three(self, instr: dis.Instruction) -> None:  # 3.10
+        c, b, a = self.pop(), self.pop(), self.pop()
+        self.push(c)
+        self.push(a)
+        self.push(b)
+
+    def _op_rot_four(self, instr: dis.Instruction) -> None:  # 3.10
+        d, c, b, a = self.pop(), self.pop(), self.pop(), self.pop()
+        self.push(d)
+        self.push(a)
+        self.push(b)
+        self.push(c)
+
+    # calls ----------------------------------------------------------------
+    def _call(self, argc: int, extra: int, name: str = "call") -> None:
+        """Pop ``argc`` arguments plus *extra* callable-convention slots."""
+        operands = self.pop_nodes(argc + extra)
+        self.push(self._barrier(Opcode.CALL, operands, name=name))
+
+    def _op_call(self, instr: dis.Instruction) -> None:  # 3.11 / 3.12
+        self._call(int(instr.argval or 0), extra=2)
+
+    def _op_call_function(self, instr: dis.Instruction) -> None:  # 3.10
+        self._call(int(instr.argval or 0), extra=1)
+
+    def _op_call_method(self, instr: dis.Instruction) -> None:  # 3.10
+        self._call(int(instr.argval or 0), extra=2)
+
+    def _op_call_function_kw(self, instr: dis.Instruction) -> None:  # 3.10
+        self._call(int(instr.argval or 0), extra=2, name="call_kw")
+
+    def _op_call_function_ex(self, instr: dis.Instruction) -> None:
+        flags = int(instr.argval or 0)
+        self._call(1 + (1 if flags & 1 else 0), extra=1, name="call_ex")
+
+    # iteration ------------------------------------------------------------
+    def _op_for_iter(self, instr: dis.Instruction) -> None:
+        iterator = self.stack[-1] if self.stack else self.pop()
+        operands = [iterator] if isinstance(iterator, int) else []
+        if not self.stack:
+            self.push(iterator)
+        self.push(self._barrier(Opcode.CALL, operands, name="iter_next"))
+
+    def _op_end_for(self, instr: dis.Instruction) -> None:  # 3.12
+        self.pop()
+        self.pop()
+
+    # control --------------------------------------------------------------
+    def _branch(self, instr: dis.Instruction, pops: bool) -> None:
+        test = self.pop() if pops else (self.stack[-1] if self.stack else self.pop())
+        operands = [test] if isinstance(test, int) else []
+        self._barrier(Opcode.BRANCH, operands, name=f"branch_L{instr.argval}")
+
+    def _op_pop_jump_if_true(self, instr: dis.Instruction) -> None:
+        self._branch(instr, pops=True)
+
+    _op_pop_jump_if_false = _op_pop_jump_if_true
+    _op_pop_jump_if_none = _op_pop_jump_if_true
+    _op_pop_jump_if_not_none = _op_pop_jump_if_true
+    # 3.11 directional variants
+    _op_pop_jump_forward_if_true = _op_pop_jump_if_true
+    _op_pop_jump_forward_if_false = _op_pop_jump_if_true
+    _op_pop_jump_forward_if_none = _op_pop_jump_if_true
+    _op_pop_jump_forward_if_not_none = _op_pop_jump_if_true
+    _op_pop_jump_backward_if_true = _op_pop_jump_if_true
+    _op_pop_jump_backward_if_false = _op_pop_jump_if_true
+    _op_pop_jump_backward_if_none = _op_pop_jump_if_true
+    _op_pop_jump_backward_if_not_none = _op_pop_jump_if_true
+
+    def _op_jump_if_true_or_pop(self, instr: dis.Instruction) -> None:
+        # Fallthrough pops the tested value; the jump path keeps it, which the
+        # successor block models as a live-in stack value.
+        self._branch(instr, pops=True)
+
+    _op_jump_if_false_or_pop = _op_jump_if_true_or_pop
+
+    def _op_return_value(self, instr: dis.Instruction) -> None:
+        self.mark_live_out(self.pop())
+
+    def _op_return_const(self, instr: dis.Instruction) -> None:  # 3.12
+        self._const(instr.argval)
+
+    def _op_raise_varargs(self, instr: dis.Instruction) -> None:
+        operands = self.pop_nodes(int(instr.argval or 0))
+        if operands:
+            self._barrier(Opcode.CALL, operands, name="raise")
+
+    def _op_reraise(self, instr: dis.Instruction) -> None:
+        self.pop()
+
+    # containers -----------------------------------------------------------
+    def _build(self, instr: dis.Instruction, per_item: int = 1) -> None:
+        operands = self.pop_nodes(int(instr.argval or 0) * per_item)
+        self.push(
+            self._barrier(Opcode.CALL, operands, name=instr.opname.lower())
+        )
+
+    _op_build_tuple = _build
+    _op_build_list = _build
+    _op_build_set = _build
+    _op_build_string = _build
+    _op_build_slice = _build
+
+    def _op_build_map(self, instr: dis.Instruction) -> None:
+        self._build(instr, per_item=2)
+
+    def _op_unpack_sequence(self, instr: dis.Instruction) -> None:
+        sequence = self.pop()
+        source = [sequence] if isinstance(sequence, int) else []
+        barrier = self._barrier(Opcode.CALL, source, name="unpack")
+        count = int(instr.argval or 0)
+        for position in reversed(range(count)):
+            self.push(
+                self._barrier(Opcode.LOAD, [barrier], name=f"unpack{position}")
+            )
+
+    # fallback -------------------------------------------------------------
+    def _opaque_fallback(self, instr: dis.Instruction) -> None:
+        """Best-effort handling of an opname outside the supported set.
+
+        The net stack effect (when computable on this interpreter) keeps the
+        modelled stack depth consistent; the values involved are routed
+        through opaque barriers.
+        """
+        effect = 0
+        try:
+            effect = dis.stack_effect(instr.opcode, instr.arg, jump=False)
+        except (ValueError, TypeError):  # foreign-version opcode number
+            pass
+        self.warnings.append(
+            f"opaque lowering of {instr.opname} (stack effect {effect:+d})"
+        )
+        if effect < 0:
+            operands = self.pop_nodes(-effect)
+            if operands:
+                self._barrier(Opcode.CALL, operands, name=f"sink_{instr.opname.lower()}")
+        else:
+            for _ in range(effect):
+                self.push(self._input(f"opaque_{instr.opname.lower()}"))
+
+    # finalisation ---------------------------------------------------------
+    def finish(self) -> DataFlowGraph:
+        """Mark boundary-crossing values and return the graph."""
+        for value in self.stack:
+            self.mark_live_out(value)
+        self.stack.clear()
+        self.graph.topological_order()  # raises on (impossible) cycles
+        return self.graph
+
+
+# --------------------------------------------------------------------------- #
+# Driver API
+# --------------------------------------------------------------------------- #
+@dataclass
+class TranslatedBlock:
+    """One basic block with its data-flow graph."""
+
+    block: BasicBlock
+    graph: DataFlowGraph
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def num_operations(self) -> int:
+        return len(self.graph.operation_nodes())
+
+
+@dataclass
+class FunctionDFGs:
+    """Every basic block of one function, translated."""
+
+    name: str
+    cfg: ControlFlowGraph
+    blocks: List[TranslatedBlock] = field(default_factory=list)
+
+    def graphs(self) -> List[DataFlowGraph]:
+        return [entry.graph for entry in self.blocks]
+
+    def largest(self) -> TranslatedBlock:
+        """The block with the most operation vertices (ties: first)."""
+        if not self.blocks:
+            raise ValueError(f"function {self.name!r} produced no blocks")
+        return max(self.blocks, key=lambda entry: (entry.num_operations, -entry.block.index))
+
+    def describe(self) -> str:
+        lines = [f"function {self.name}: {len(self.blocks)} block(s)"]
+        for entry in self.blocks:
+            graph = entry.graph
+            lines.append(
+                f"  {entry.block.describe()} -> {len(graph.operation_nodes())} op(s), "
+                f"{graph.num_edges} edge(s)"
+            )
+        return "\n".join(lines)
+
+
+def translate_block(
+    block: BasicBlock,
+    name: str,
+    live_out_vars: Optional[Set[str]] = None,
+) -> TranslatedBlock:
+    """Translate one basic block into a :class:`TranslatedBlock`."""
+    translator = BlockTranslator(name=name, live_out_vars=live_out_vars)
+    for instr in block.instructions:
+        translator.execute(instr)
+    graph = translator.finish()
+    return TranslatedBlock(block=block, graph=graph, warnings=translator.warnings)
+
+
+def function_to_dfgs(
+    target: Union[Callable, types.CodeType],
+    name: Optional[str] = None,
+) -> FunctionDFGs:
+    """Translate every basic block of *target* into a data-flow graph.
+
+    Block graphs are named ``<function>__b<index>`` so they slot directly
+    into :class:`~repro.workloads.suite.WorkloadSuite` and the batch engine.
+    """
+    cfg = build_cfg(target)
+    function_name = name or cfg.name
+    live_out = compute_live_out_vars(cfg)
+    translated = [
+        translate_block(
+            block,
+            name=f"{function_name}__b{block.index}",
+            live_out_vars=live_out[block.index],
+        )
+        for block in cfg.blocks
+    ]
+    return FunctionDFGs(name=function_name, cfg=cfg, blocks=translated)
+
+
+def graph_for_function(
+    target: Union[Callable, types.CodeType],
+    name: Optional[str] = None,
+) -> DataFlowGraph:
+    """Convenience: the DFG of the *largest* basic block of *target*.
+
+    For straight-line kernels (the interesting ISE candidates) the function
+    body is a single block and this is simply "the function as a DFG".
+    """
+    return function_to_dfgs(target, name=name).largest().graph

@@ -1,0 +1,136 @@
+"""Resolution of Python source files into frontend-translatable functions.
+
+Shared by the CLI's ``frontend`` subcommand and by ``--from-source`` /
+``.py`` target resolution on ``enumerate`` and ``ise``: given a path like
+``kernels.py`` (optionally with a ``::function`` suffix), load the module in
+isolation and hand back the plain Python functions defined in it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import types
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+
+class SourceResolutionError(ValueError):
+    """Raised when a source path / function name cannot be resolved."""
+
+
+def split_target(target: str) -> Tuple[str, Optional[str]]:
+    """Split a ``path.py::function`` target into its two halves."""
+    base, sep, func = target.partition("::")
+    return base, (func if sep else None)
+
+
+def _package_dotted_name(source: Path) -> Tuple[Optional[str], Optional[Path]]:
+    """Dotted module name of *source* if it sits inside a package.
+
+    Walks up while ``__init__.py`` markers exist; returns ``(dotted, root)``
+    where *root* is the directory to import from, or ``(None, None)`` for a
+    standalone file.
+    """
+    parts = [source.stem]
+    parent = source.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if len(parts) == 1:
+        return None, None
+    return ".".join(reversed(parts)), parent
+
+
+def load_module(path: Union[str, Path]) -> types.ModuleType:
+    """Import the module at *path*.
+
+    Standalone files are loaded under a private name (so user files never
+    shadow installed packages); files that live inside a package — e.g.
+    ``src/repro/frontend/corpus.py`` itself — are imported under their dotted
+    name so relative imports keep working.
+    """
+    source = Path(path).resolve()
+    if not source.exists():
+        raise SourceResolutionError(f"source file {path} does not exist")
+    if source.suffix != ".py":
+        raise SourceResolutionError(
+            f"{path} is not a Python source file (expected a .py extension)"
+        )
+    dotted, root = _package_dotted_name(source)
+    if dotted is not None:
+        root_str = str(root)
+        inserted = root_str not in sys.path
+        if inserted:
+            sys.path.insert(0, root_str)
+        try:
+            return importlib.import_module(dotted)
+        except Exception as exc:
+            raise SourceResolutionError(f"importing {path} failed: {exc}") from exc
+        finally:
+            if inserted:
+                try:
+                    sys.path.remove(root_str)
+                except ValueError:
+                    pass
+    module_name = f"_repro_frontend_{source.stem}"
+    spec = importlib.util.spec_from_file_location(module_name, source)
+    if spec is None or spec.loader is None:
+        raise SourceResolutionError(f"cannot build an import spec for {source}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        sys.modules.pop(module_name, None)
+        raise SourceResolutionError(f"importing {source} failed: {exc}") from exc
+    return module
+
+
+def functions_in_module(
+    module: types.ModuleType, include_private: bool = False
+) -> Dict[str, Callable]:
+    """Plain Python functions *defined in* the module (imports excluded).
+
+    Underscore-prefixed functions are hidden from "every function" listings
+    but can be requested explicitly (*include_private*).
+    """
+    filename = getattr(module, "__file__", None)
+    result: Dict[str, Callable] = {}
+    for name in sorted(vars(module)):
+        if name.startswith("_") and not include_private:
+            continue
+        value = vars(module)[name]
+        code = getattr(value, "__code__", None)
+        if not isinstance(value, types.FunctionType) or code is None:
+            continue
+        if filename is not None and code.co_filename != filename:
+            continue
+        result[name] = value
+    return result
+
+
+def resolve_functions(
+    path: Union[str, Path], func: Optional[str] = None
+) -> List[Tuple[str, Callable]]:
+    """Functions selected from the source file at *path*.
+
+    With *func* given, exactly that function (a clear error lists the
+    available names otherwise); without it, every function defined in the
+    module, in name order.
+    """
+    module = load_module(path)
+    functions = functions_in_module(module, include_private=True)
+    public = {name: fn for name, fn in functions.items() if not name.startswith("_")}
+    if func is None:
+        if not public:
+            raise SourceResolutionError(
+                f"{path} defines no public plain Python functions"
+            )
+        return list(public.items())
+    if func not in functions:
+        available = ", ".join(public) or "(none)"
+        raise SourceResolutionError(
+            f"{path} defines no function {func!r} (available: {available})"
+        )
+    return [(func, functions[func])]

@@ -3,6 +3,14 @@
 Benchmark runs should be reproducible: a :class:`WorkloadSuite` couples a list
 of named data-flow graphs with the metadata needed to regenerate or reload
 them, and can be serialised to a directory of JSON files.
+
+Profiled corpora (e.g. the compiler frontend's
+:func:`repro.frontend.corpus.build_corpus_suite`) additionally carry a
+per-graph **execution count** — the weight the ISE pipeline uses to rank
+custom-instruction candidates.  Counts round-trip through :meth:`save` /
+:meth:`load` (index schema version 2); suites written by older builds (no
+schema version, graph entries as bare filenames) still load, with every count
+defaulting to 1.0.
 """
 
 from __future__ import annotations
@@ -15,6 +23,12 @@ from typing import Dict, Iterator, List, Optional, Union
 from ..dfg.graph import DataFlowGraph
 from ..dfg.serialization import graph_from_dict, graph_to_dict
 
+#: Version of the ``suite.json`` index schema written by :meth:`WorkloadSuite.save`.
+SUITE_SCHEMA_VERSION = 2
+
+#: Index schema versions :meth:`WorkloadSuite.load` knows how to read.
+SUPPORTED_SUITE_SCHEMA_VERSIONS = frozenset({1, 2})
+
 
 @dataclass
 class WorkloadSuite:
@@ -23,12 +37,14 @@ class WorkloadSuite:
     Graph names are unique within a suite: they are the keys benchmark
     reports and batch results are joined on, so :meth:`add` rejects
     duplicates, and :meth:`by_name` resolves through a name index instead of
-    scanning the graph list.
+    scanning the graph list.  ``execution_counts`` maps graph names to
+    profiled execution counts; graphs without an entry default to 1.0.
     """
 
     name: str
     graphs: List[DataFlowGraph] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
+    execution_counts: Dict[str, float] = field(default_factory=dict)
     _index: Dict[str, DataFlowGraph] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -44,7 +60,7 @@ class WorkloadSuite:
     def __iter__(self) -> Iterator[DataFlowGraph]:
         return iter(self.graphs)
 
-    def add(self, graph: DataFlowGraph) -> None:
+    def add(self, graph: DataFlowGraph, execution_count: Optional[float] = None) -> None:
         """Append a graph to the suite (its name must be unused)."""
         if graph.name in self._index:
             raise ValueError(
@@ -52,6 +68,8 @@ class WorkloadSuite:
             )
         self.graphs.append(graph)
         self._index[graph.name] = graph
+        if execution_count is not None:
+            self.execution_counts[graph.name] = float(execution_count)
 
     def by_name(self, graph_name: str) -> DataFlowGraph:
         """Return the graph called *graph_name* (raises ``KeyError`` if absent)."""
@@ -62,32 +80,79 @@ class WorkloadSuite:
         return [len(graph.operation_nodes()) for graph in self.graphs]
 
     # ------------------------------------------------------------------ #
+    # Execution counts
+    # ------------------------------------------------------------------ #
+    def set_execution_count(self, graph_name: str, count: float) -> None:
+        """Record the profiled execution count of *graph_name*."""
+        if graph_name not in self._index:
+            raise KeyError(
+                f"suite {self.name!r} has no graph named {graph_name!r}"
+            )
+        self.execution_counts[graph_name] = float(count)
+
+    def execution_count(self, graph_name: str, default: float = 1.0) -> float:
+        """Execution count of *graph_name* (*default* when unprofiled)."""
+        return float(self.execution_counts.get(graph_name, default))
+
+    def profiled_blocks(self) -> List[tuple]:
+        """``(graph, execution_count)`` pairs, the batch engine's input form."""
+        return [
+            (graph, self.execution_count(graph.name)) for graph in self.graphs
+        ]
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, directory: Union[str, Path]) -> None:
         """Write the suite to *directory* (one JSON file per graph plus an index)."""
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
-        index = {
+        index: Dict[str, object] = {
+            "schema_version": SUITE_SCHEMA_VERSION,
             "name": self.name,
             "metadata": self.metadata,
             "graphs": [],
         }
+        entries: List[Dict[str, object]] = []
         for position, graph in enumerate(self.graphs):
             filename = f"{position:04d}_{graph.name}.json"
             (path / filename).write_text(
                 json.dumps(graph_to_dict(graph), indent=1), encoding="utf-8"
             )
-            index["graphs"].append(filename)
+            entry: Dict[str, object] = {"file": filename}
+            if graph.name in self.execution_counts:
+                entry["execution_count"] = self.execution_counts[graph.name]
+            entries.append(entry)
+        index["graphs"] = entries
         (path / "suite.json").write_text(json.dumps(index, indent=2), encoding="utf-8")
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "WorkloadSuite":
-        """Load a suite previously written by :meth:`save`."""
+        """Load a suite previously written by :meth:`save`.
+
+        Reads both the current index schema (version 2: graph entries are
+        objects with ``file`` and optional ``execution_count``) and the
+        legacy one (no ``schema_version``, entries are bare filenames).
+        """
         path = Path(directory)
         index = json.loads((path / "suite.json").read_text(encoding="utf-8"))
+        version = index.get("schema_version", 1)
+        if version not in SUPPORTED_SUITE_SCHEMA_VERSIONS:
+            supported = ", ".join(
+                str(v) for v in sorted(SUPPORTED_SUITE_SCHEMA_VERSIONS)
+            )
+            raise ValueError(
+                f"suite {index.get('name', path.name)!r}: unsupported suite "
+                f"schema version {version!r} (this build reads version(s) "
+                f"{supported}); regenerate the suite before loading"
+            )
         suite = cls(name=index["name"], metadata=index.get("metadata", {}))
-        for filename in index["graphs"]:
+        for entry in index["graphs"]:
+            if isinstance(entry, str):  # legacy v1: bare filename
+                filename, count = entry, None
+            else:
+                filename = entry["file"]
+                count = entry.get("execution_count")
             data = json.loads((path / filename).read_text(encoding="utf-8"))
-            suite.add(graph_from_dict(data))
+            suite.add(graph_from_dict(data), execution_count=count)
         return suite

@@ -1,0 +1,695 @@
+"""Tests for the compiler frontend: bytecode → CFG → DFG → profile → ISE.
+
+Covers the ISSUE-4 checklist: canonical equivalence of bytecode-derived DFGs
+against hand-built builder twins, CFG block boundaries on loops /
+conditionals / short-circuit evaluation, profiler count sanity, the CLI
+``frontend`` subcommand, cross-version (3.10 – 3.12) opcode dialect handling
+via fabricated instruction streams, suite execution-count persistence, and
+the shared target-resolution helper.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.dot import to_dot
+from repro.dfg.opcodes import Opcode
+from repro.dfg.validate import validate_graph
+from repro.frontend import (
+    CORPUS,
+    STRAIGHT_LINE_KERNELS,
+    BasicBlock,
+    ControlFlowGraph,
+    build_cfg,
+    build_corpus_suite,
+    corpus_block_profiles,
+    corpus_names,
+    function_to_dfgs,
+    graph_for_function,
+    profile_function,
+    profile_kernel,
+    resolve_functions,
+    static_profile,
+    translate_block,
+)
+from repro.frontend.corpus import (
+    adpcm_round,
+    checksum_loop,
+    crc32_step,
+    fir_tap4,
+    popcount32,
+)
+from repro.frontend.dfg_from_bytecode import BlockTranslator
+from repro.frontend.loader import SourceResolutionError
+from repro.ise.pipeline import identify_instruction_set_extension
+from repro.memo.canon import canonical_hash
+from repro.workloads.suite import WorkloadSuite
+
+
+# --------------------------------------------------------------------------- #
+# Hand-built DFGBuilder twins (acceptance criterion: canonical identity)
+# --------------------------------------------------------------------------- #
+def _twin_crc32_step():
+    b = DFGBuilder("twin_crc32_step")
+    crc, data, poly = b.inputs("crc", "data", "poly")
+    one = b.const("1")
+    bit = b.and_(data, one)
+    lsb = b.and_(crc, one)
+    t = b.xor(lsb, bit)
+    mask = b.op(Opcode.NEG, t)
+    sel = b.and_(poly, mask)
+    shifted = b.shr(crc, one)
+    b.xor(shifted, sel, live_out=True)
+    return b.build()
+
+
+def _twin_popcount32():
+    b = DFGBuilder("twin_popcount32")
+    x = b.input("x")
+    c1 = b.const("1")
+    c55 = b.const("0x55555555")
+    c33 = b.const("0x33333333")
+    c2 = b.const("2")
+    c4 = b.const("4")
+    c0f = b.const("0x0F0F0F0F")
+    c01 = b.const("0x01010101")
+    c24 = b.const("24")
+    x1 = b.sub(x, b.and_(b.shr(x, c1), c55))
+    x2 = b.add(b.and_(x1, c33), b.and_(b.shr(x1, c2), c33))
+    x3 = b.and_(b.add(x2, b.shr(x2, c4)), c0f)
+    b.shr(b.mul(x3, c01), c24, live_out=True)
+    return b.build()
+
+
+def _twin_fir_tap4():
+    b = DFGBuilder("twin_fir_tap4")
+    acc, s0, c0, s1, c1, s2, c2, s3, c3 = b.inputs(
+        "acc", "s0", "c0", "s1", "c1", "s2", "c2", "s3", "c3"
+    )
+    for sample, coeff in ((s0, c0), (s1, c1), (s2, c2), (s3, c3)):
+        acc = b.add(acc, b.mul(sample, coeff))
+    b.mark_live_out(acc)
+    return b.build()
+
+
+TWINS = {
+    "crc32_step": (crc32_step, _twin_crc32_step),
+    "popcount32": (popcount32, _twin_popcount32),
+    "fir_tap4": (fir_tap4, _twin_fir_tap4),
+}
+
+
+class TestTwinEquivalence:
+    @pytest.mark.parametrize("kernel_name", sorted(TWINS))
+    def test_bytecode_dfg_matches_hand_built_twin(self, kernel_name):
+        fn, twin_factory = TWINS[kernel_name]
+        frontend_graph = graph_for_function(fn)
+        twin = twin_factory()
+        assert canonical_hash(frontend_graph) == canonical_hash(twin), (
+            f"{kernel_name}: frontend DFG is not canonically identical to "
+            "its hand-built twin"
+        )
+
+    @pytest.mark.parametrize("kernel_name", sorted(TWINS))
+    def test_twins_validate(self, kernel_name):
+        _, twin_factory = TWINS[kernel_name]
+        validate_graph(twin_factory())
+
+
+# --------------------------------------------------------------------------- #
+# CFG block boundaries
+# --------------------------------------------------------------------------- #
+def _conditional(x):
+    if x > 0:
+        y = x + 1
+    else:
+        y = x - 1
+    return y
+
+
+def _short_circuit(a, b, c):
+    return (a and b) or c
+
+
+class TestCfg:
+    def test_straight_line_is_one_block(self):
+        cfg = build_cfg(crc32_step)
+        assert len(cfg) == 1
+        assert cfg.entry.successors == []
+
+    def test_loop_has_back_edge(self):
+        cfg = build_cfg(checksum_loop)
+        assert len(cfg) >= 3
+        has_back_edge = any(
+            succ <= block.index for block in cfg for succ in block.successors
+        )
+        assert has_back_edge, "while-loop CFG must contain a back edge"
+
+    def test_conditional_diamond(self):
+        cfg = build_cfg(_conditional)
+        assert len(cfg) >= 3
+        branching = [b for b in cfg if len(b.successors) == 2]
+        assert branching, "if/else must produce a two-successor block"
+
+    def test_short_circuit_blocks(self):
+        cfg = build_cfg(_short_circuit)
+        assert len(cfg) >= 2
+        # Every successor index refers to an existing block.
+        for block in cfg:
+            for succ in block.successors:
+                assert 0 <= succ < len(cfg)
+
+    def test_blocks_partition_instructions(self):
+        cfg = build_cfg(adpcm_round)
+        import dis
+
+        total = len(list(dis.get_instructions(adpcm_round.__code__)))
+        assert sum(len(b.instructions) for b in cfg) == total
+        offsets = [b.offset for b in cfg]
+        assert offsets == sorted(offsets)
+
+    def test_describe_mentions_every_block(self):
+        cfg = build_cfg(_conditional)
+        text = cfg.describe()
+        for block in cfg:
+            assert f"block {block.index}" in text
+
+
+# --------------------------------------------------------------------------- #
+# DFG translation semantics
+# --------------------------------------------------------------------------- #
+class TestTranslation:
+    def test_constants_are_deduplicated(self):
+        graph = graph_for_function(crc32_step)
+        consts = [n for n in graph.nodes() if n.opcode is Opcode.CONSTANT]
+        assert len(consts) == 1  # the literal 1, used three times
+
+    def test_branch_block_emits_branch_vertex(self):
+        dfgs = function_to_dfgs(_conditional)
+        entry = dfgs.blocks[0].graph
+        assert any(n.opcode is Opcode.BRANCH for n in entry.nodes())
+
+    def test_liveness_marks_cross_block_stores(self):
+        dfgs = function_to_dfgs(_conditional)
+        # The two arm blocks each store y, read later by the return block.
+        arm_live_outs = 0
+        for entry in dfgs.blocks[1:]:
+            for node in entry.graph.nodes():
+                if node.live_out and node.is_operation:
+                    arm_live_outs += 1
+        assert arm_live_outs >= 2
+
+    def test_loop_body_carries_loop_variables_out(self):
+        dfgs = function_to_dfgs(checksum_loop)
+        body = max(dfgs.blocks, key=lambda e: e.num_operations)
+        live = [n for n in body.graph.nodes() if n.live_out and n.is_operation]
+        assert len(live) >= 2  # acc and i survive the back edge
+
+    def test_unsupported_ops_become_barriers_not_errors(self):
+        def uses_calls(x):
+            y = len(str(x)) + 1
+            return y
+
+        graph = graph_for_function(uses_calls)
+        validate_graph(graph)
+        calls = [n for n in graph.nodes() if n.opcode is Opcode.CALL]
+        assert calls and all(n.forbidden for n in calls)
+        assert any(n.opcode is Opcode.ADD for n in graph.nodes())
+
+    def test_subscripts_lower_to_memory_barriers(self):
+        def uses_subscript(table, i):
+            return table[i] + 1
+
+        graph = graph_for_function(uses_subscript)
+        loads = [n for n in graph.nodes() if n.opcode is Opcode.LOAD]
+        assert loads and all(n.forbidden for n in loads)
+
+    def test_every_corpus_kernel_translates_and_validates(self):
+        for name in corpus_names():
+            kernel = CORPUS[name]
+            kernel.smoke()  # the kernels are real, runnable programs
+            dfgs = function_to_dfgs(kernel.fn)
+            assert dfgs.blocks
+            for entry in dfgs.blocks:
+                validate_graph(entry.graph)
+
+    def test_straight_line_kernels_are_single_op_block(self):
+        for name in STRAIGHT_LINE_KERNELS:
+            dfgs = function_to_dfgs(CORPUS[name].fn)
+            with_ops = [e for e in dfgs.blocks if e.num_operations > 0]
+            assert len(with_ops) == 1, name
+
+
+# --------------------------------------------------------------------------- #
+# Cross-version opcode dialects (fabricated instruction streams)
+# --------------------------------------------------------------------------- #
+class _Instr:
+    """Minimal stand-in for :class:`dis.Instruction` (foreign dialects)."""
+
+    def __init__(self, opname, argval=None, argrepr="", offset=0, line=None, arg=None):
+        self.opname = opname
+        self.opcode = -1  # never a valid live opcode: forces opname dispatch
+        self.arg = arg
+        self.argval = argval
+        self.argrepr = argrepr
+        self.offset = offset
+        self.starts_line = line
+        self.is_jump_target = False
+
+
+def _stream(*instrs):
+    """Assign consecutive offsets (2 bytes per instruction, like CPython)."""
+    out = []
+    for position, instr in enumerate(instrs):
+        instr.offset = position * 2
+        out.append(instr)
+    return out
+
+
+class TestOpcodeDialects:
+    def test_py310_dedicated_binary_opcodes(self):
+        # 3.10 dialect: BINARY_AND / BINARY_RSHIFT / UNARY_NEGATIVE,
+        # COMPARE_OP argval, JUMP_ABSOLUTE terminator.
+        instrs = _stream(
+            _Instr("LOAD_FAST", "x", line=1),
+            _Instr("LOAD_CONST", 1, line=1),
+            _Instr("BINARY_AND", line=1),
+            _Instr("STORE_FAST", "t", line=1),
+            _Instr("LOAD_FAST", "t", line=2),
+            _Instr("UNARY_NEGATIVE", line=2),
+            _Instr("LOAD_FAST", "x", line=2),
+            _Instr("LOAD_CONST", 3, line=2),
+            _Instr("BINARY_RSHIFT", line=2),
+            _Instr("BINARY_XOR", line=2),
+            _Instr("RETURN_VALUE", line=2),
+        )
+        block = BasicBlock(index=0, offset=0, instructions=instrs)
+        result = translate_block(block, name="py310_block")
+        opcodes = sorted(n.opcode.value for n in result.graph.nodes() if n.is_operation)
+        assert opcodes == ["and", "neg", "shr", "xor"]
+        live = [n for n in result.graph.nodes() if n.live_out]
+        assert len(live) == 1 and live[0].opcode is Opcode.XOR
+        assert not result.warnings
+
+    def test_py310_compare_and_jump(self):
+        instrs = _stream(
+            _Instr("LOAD_FAST", "a", line=1),
+            _Instr("LOAD_FAST", "b", line=1),
+            _Instr("COMPARE_OP", "<", argrepr="<", line=1),
+            _Instr("POP_JUMP_IF_FALSE", 12, line=1),
+        )
+        block = BasicBlock(index=0, offset=0, instructions=instrs)
+        result = translate_block(block, name="py310_cmp")
+        ops = {n.opcode for n in result.graph.nodes() if n.is_operation}
+        assert Opcode.LT in ops and Opcode.BRANCH in ops
+
+    def test_py311_binary_op_symbols(self):
+        # 3.11/3.12 dialect: one BINARY_OP with the symbol in argrepr
+        # (in-place spelled with a trailing '=').
+        instrs = _stream(
+            _Instr("RESUME", 0),
+            _Instr("LOAD_FAST", "a", line=1),
+            _Instr("LOAD_FAST", "b", line=1),
+            _Instr("BINARY_OP", 0, argrepr="+", line=1),
+            _Instr("LOAD_FAST", "c", line=1),
+            _Instr("BINARY_OP", 0, argrepr="<<=", line=1),
+            _Instr("RETURN_VALUE", line=1),
+        )
+        block = BasicBlock(index=0, offset=0, instructions=instrs)
+        result = translate_block(block, name="py311_block")
+        opcodes = sorted(n.opcode.value for n in result.graph.nodes() if n.is_operation)
+        assert opcodes == ["add", "shl"]
+
+    def test_py312_return_const_and_pop_jump(self):
+        # 3.12 dialect: RETURN_CONST, non-directional POP_JUMP_IF_TRUE.
+        instrs = _stream(
+            _Instr("LOAD_FAST", "flag", line=1),
+            _Instr("POP_JUMP_IF_TRUE", 8, line=1),
+            _Instr("RETURN_CONST", 0, line=2),
+        )
+        block = BasicBlock(index=0, offset=0, instructions=instrs)
+        result = translate_block(block, name="py312_block")
+        ops = {n.opcode for n in result.graph.nodes() if n.is_operation}
+        assert Opcode.BRANCH in ops
+        consts = [n for n in result.graph.nodes() if n.opcode is Opcode.CONSTANT]
+        assert len(consts) == 1
+
+    def test_py311_call_convention(self):
+        # PUSH_NULL + LOAD_GLOBAL("NULL + f") + CALL 1 → one CALL barrier.
+        instrs = _stream(
+            _Instr("LOAD_GLOBAL", "f", argrepr="NULL + f", line=1),
+            _Instr("LOAD_FAST", "x", line=1),
+            _Instr("PRECALL", 1, line=1),
+            _Instr("CALL", 1, line=1),
+            _Instr("RETURN_VALUE", line=1),
+        )
+        block = BasicBlock(index=0, offset=0, instructions=instrs)
+        result = translate_block(block, name="py311_call")
+        calls = [n for n in result.graph.nodes() if n.opcode is Opcode.CALL]
+        assert len(calls) == 1 and calls[0].forbidden and calls[0].live_out
+
+    def test_foreign_jump_builds_cfg(self):
+        # CFG construction from a fabricated 3.10-style stream with an
+        # absolute jump: leader analysis must split at the target.
+        instrs = _stream(
+            _Instr("LOAD_FAST", "x", line=1),
+            _Instr("POP_JUMP_IF_FALSE", 6, line=1),
+            _Instr("JUMP_ABSOLUTE", 0, line=2),
+            _Instr("LOAD_FAST", "x", line=3),
+            _Instr("RETURN_VALUE", line=3),
+        )
+        cfg = ControlFlowGraph.from_instructions(instrs, name="foreign")
+        assert len(cfg) == 3
+        # Entry: conditional jump to the return block plus fallthrough.
+        assert sorted(cfg.blocks[0].successors) == [1, 2]
+        # The jump-back block targets the entry block.
+        assert cfg.blocks[1].successors == [0]
+
+    def test_binary_op_without_symbol_is_opaque_not_add(self):
+        instrs = _stream(
+            _Instr("LOAD_FAST", "a", line=1),
+            _Instr("LOAD_FAST", "b", line=1),
+            _Instr("BINARY_OP", 0, argrepr="", line=1),  # symbol unknown
+            _Instr("RETURN_VALUE", line=1),
+        )
+        block = BasicBlock(index=0, offset=0, instructions=instrs)
+        result = translate_block(block, name="no_symbol")
+        assert result.warnings
+        ops = {n.opcode for n in result.graph.nodes() if n.is_operation}
+        assert Opcode.ADD not in ops and Opcode.CALL in ops
+
+    def test_power_operator_is_opaque(self):
+        def cube(x):
+            return x ** 3
+
+        graph = graph_for_function(cube)
+        ops = {n.opcode for n in graph.nodes() if n.is_operation}
+        assert Opcode.CALL in ops
+
+    def test_unknown_opcode_degrades_to_opaque(self):
+        instrs = _stream(
+            _Instr("LOAD_FAST", "x", line=1),
+            _Instr("TOTALLY_NEW_OPCODE", line=1),
+            _Instr("RETURN_VALUE", line=1),
+        )
+        block = BasicBlock(index=0, offset=0, instructions=instrs)
+        result = translate_block(block, name="future_block")
+        assert result.warnings  # flagged, not fatal
+
+
+# --------------------------------------------------------------------------- #
+# Profiler
+# --------------------------------------------------------------------------- #
+class TestProfiler:
+    def test_loop_body_is_hotter_than_exit(self):
+        profiled = profile_function(checksum_loop, [(10, 1), (5, 2)])
+        counts = profiled.execution_counts()
+        body = max(
+            (e for e in profiled.dfgs.blocks),
+            key=lambda e: e.num_operations,
+        )
+        assert counts[body.graph.name] >= 15  # 10 + 5 iterations
+        profiles = profiled.block_profiles()
+        assert profiles
+        # The loop body is at least as hot as any non-loop block (the header
+        # legitimately counts one extra exit check per call).
+        body_count = counts[body.graph.name]
+        assert all(
+            p.execution_count <= body_count + len(profiles) + 2 for p in profiles
+        )
+
+    def test_single_block_function_counts_calls(self):
+        profiled = profile_function(crc32_step, [(1, 2, 3)] * 4)
+        counts = profiled.execution_counts()
+        assert counts[profiled.dfgs.blocks[0].graph.name] == 4
+
+    def test_cold_branch_counts_zero(self):
+        profiled = profile_function(adpcm_round, [(0, 16, 100)] * 3)
+        counts = profiled.execution_counts()
+        # delta == 0 never takes the `delta & 4` arm (line `vpdiff += step`).
+        arm_counts = [
+            count
+            for name, count in counts.items()
+            if name != profiled.dfgs.blocks[0].graph.name
+        ]
+        assert any(count == 0 for count in arm_counts)
+
+    def test_static_profile_runs_nothing(self):
+        profiled = static_profile(checksum_loop, default_count=7.0)
+        assert profiled.line_counts is None
+        assert set(profiled.block_counts) == {7.0}
+
+    def test_corpus_block_profiles_feed_pipeline(self):
+        blocks = corpus_block_profiles(profile=False)
+        assert len(blocks) >= 10
+        result = identify_instruction_set_extension(blocks[:4])
+        assert result.blocks and result.application_speedup >= 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Suite persistence of execution counts (schema v2)
+# --------------------------------------------------------------------------- #
+class TestSuiteExecutionCounts:
+    def test_round_trip(self, tmp_path):
+        suite = build_corpus_suite(profile=True)
+        assert suite.execution_counts  # profiling populated the counts
+        suite.save(tmp_path / "corpus")
+        loaded = WorkloadSuite.load(tmp_path / "corpus")
+        assert len(loaded) == len(suite)
+        assert loaded.execution_counts == suite.execution_counts
+        index = json.loads((tmp_path / "corpus" / "suite.json").read_text())
+        assert index["schema_version"] == 2
+
+    def test_legacy_v1_index_still_loads(self, tmp_path):
+        suite = build_corpus_suite(profile=False)
+        directory = tmp_path / "legacy"
+        suite.save(directory)
+        index = json.loads((directory / "suite.json").read_text())
+        # Rewrite the index the way pre-v2 builds did: no version field,
+        # graph entries as bare filenames.
+        legacy = {
+            "name": index["name"],
+            "metadata": index["metadata"],
+            "graphs": [entry["file"] for entry in index["graphs"]],
+        }
+        (directory / "suite.json").write_text(json.dumps(legacy))
+        loaded = WorkloadSuite.load(directory)
+        assert len(loaded) == len(suite)
+        assert loaded.execution_counts == {}
+        assert loaded.execution_count(loaded.graphs[0].name) == 1.0
+
+    def test_future_schema_version_rejected(self, tmp_path):
+        directory = tmp_path / "future"
+        directory.mkdir()
+        (directory / "suite.json").write_text(
+            json.dumps({"schema_version": 99, "name": "x", "graphs": []})
+        )
+        with pytest.raises(ValueError, match="unsupported suite schema version"):
+            WorkloadSuite.load(directory)
+
+    def test_add_with_count_and_accessors(self):
+        suite = WorkloadSuite(name="s")
+        graph = graph_for_function(crc32_step)
+        suite.add(graph, execution_count=123.0)
+        assert suite.execution_count(graph.name) == 123.0
+        assert suite.profiled_blocks() == [(graph, 123.0)]
+        with pytest.raises(KeyError):
+            suite.set_execution_count("missing", 1.0)
+
+
+# --------------------------------------------------------------------------- #
+# CLI integration
+# --------------------------------------------------------------------------- #
+CORPUS_PATH = Path(__file__).resolve().parents[1] / "src/repro/frontend/corpus.py"
+
+
+class TestCli:
+    def test_frontend_corpus_profile_ise(self, capsys):
+        assert (
+            main(["frontend", "corpus", "--func", "crc32_step", "--profile", "--ise"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "crc32_step" in out
+        assert "application speedup" in out
+
+    def test_frontend_source_file_every_corpus_kernel(self, capsys):
+        # Acceptance criterion: `repro frontend <file.py> --func <name> --ise`
+        # runs end-to-end on every bundled corpus kernel.
+        for name in corpus_names():
+            code = main(
+                ["frontend", str(CORPUS_PATH), "--func", name, "--ise",
+                 "--max-inputs", "3"]
+            )
+            assert code == 0, name
+            out = capsys.readouterr().out
+            assert "application speedup" in out
+
+    def test_frontend_profile_with_calls(self, tmp_path, capsys):
+        source = tmp_path / "user_kernel.py"
+        source.write_text(
+            "def double_xor(a, b):\n"
+            "    t = a ^ b\n"
+            "    return t ^ (t << 1)\n"
+        )
+        assert (
+            main(
+                ["frontend", str(source), "--profile", "--call", "[3, 5]",
+                 "--call", "[7, 9]"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "double_xor" in out and "execution counts" in out
+
+    def test_frontend_profile_without_calls_fails(self, tmp_path):
+        source = tmp_path / "k.py"
+        source.write_text("def f(x):\n    return x + 1\n")
+        with pytest.raises(SystemExit, match="--call"):
+            main(["frontend", str(source), "--profile"])
+
+    def test_frontend_save_suite(self, tmp_path, capsys):
+        out_dir = tmp_path / "suite"
+        assert (
+            main(
+                ["frontend", "corpus", "--func", "popcount32", "--profile",
+                 "--save-suite", str(out_dir)]
+            )
+            == 0
+        )
+        loaded = WorkloadSuite.load(out_dir)
+        assert len(loaded) == 1
+        assert loaded.execution_counts
+
+    def test_enumerate_python_target(self, capsys):
+        assert main(["enumerate", f"{CORPUS_PATH}::xorshift32"]) == 0
+        out = capsys.readouterr().out
+        assert "cuts" in out
+
+    def test_enumerate_from_source_flag(self, capsys):
+        assert (
+            main(["enumerate", f"{CORPUS_PATH}::popcount32", "--from-source"]) == 0
+        )
+
+    def test_ise_from_source_expands_blocks(self, capsys):
+        assert (
+            main(["ise", f"{CORPUS_PATH}::adpcm_round", "--from-source"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "adpcm_round__b" in out
+
+    def test_ise_dot_dir_writes_highlighted_instructions(self, tmp_path, capsys):
+        dot_dir = tmp_path / "dots"
+        assert (
+            main(
+                ["ise", f"{CORPUS_PATH}::crc32_step", "--dot-dir", str(dot_dir)]
+            )
+            == 0
+        )
+        files = list(dot_dir.glob("*.dot"))
+        assert files
+        text = files[0].read_text()
+        assert "fillcolor" in text and "lightblue" in text
+
+    def test_kernel_names_resolve_under_from_source(self, capsys):
+        # Built-in kernels and Python sources can be mixed in one call.
+        assert (
+            main(
+                ["ise", "crc32_step", f"{CORPUS_PATH}::popcount32",
+                 "--from-source"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "crc32_step" in out and "popcount32__b0" in out
+
+    def test_private_function_addressable_explicitly(self, tmp_path, capsys):
+        source = tmp_path / "priv.py"
+        source.write_text(
+            "def _mix(a, b):\n    return (a ^ b) + (a & b)\n"
+        )
+        assert main(["enumerate", f"{source}::_mix"]) == 0
+        # ...but hidden from "every function" listings.
+        with pytest.raises(SystemExit, match="no public plain Python functions"):
+            main(["frontend", str(source)])
+
+    def test_call_must_be_json_list(self, tmp_path):
+        source = tmp_path / "k.py"
+        source.write_text("def f(x):\n    return x + 1\n")
+        with pytest.raises(SystemExit, match="JSON argument"):
+            main(["frontend", str(source), "--profile", "--call", "5"])
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["frontend", str(source), "--profile", "--call", "[oops"])
+
+    def test_call_arity_mismatch_is_clean_error(self, tmp_path):
+        source = tmp_path / "k2.py"
+        source.write_text("def g(x):\n    return x + 1\n")
+        with pytest.raises(SystemExit, match="profiling g"):
+            main(["frontend", str(source), "--profile", "--call", "[1, 2, 3]"])
+
+    def test_corpus_ignores_call_with_note(self, capsys):
+        assert (
+            main(
+                ["frontend", "corpus", "--func", "crc32_step", "--profile",
+                 "--call", "[1, 2, 3]"]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "--call is ignored" in err
+
+    def test_wrong_extension_error_is_clear(self, tmp_path):
+        bogus = tmp_path / "graph.yaml"
+        bogus.write_text("nodes: []")
+        with pytest.raises(SystemExit, match="unsupported extension"):
+            main(["enumerate", str(bogus)])
+
+    def test_unknown_function_error_lists_available(self):
+        with pytest.raises(SystemExit, match="available:"):
+            main(["enumerate", f"{CORPUS_PATH}::no_such_function"])
+
+    def test_missing_target_error_mentions_py(self):
+        with pytest.raises(SystemExit, match=r"\.py"):
+            main(["enumerate", "does_not_exist_anywhere"])
+
+
+# --------------------------------------------------------------------------- #
+# Loader + DOT satellites
+# --------------------------------------------------------------------------- #
+class TestLoaderAndDot:
+    def test_resolve_functions_standalone_file(self, tmp_path):
+        source = tmp_path / "standalone.py"
+        source.write_text(
+            "def alpha(x):\n    return x + 1\n\n"
+            "def beta(x):\n    return x - 1\n"
+        )
+        names = [name for name, _ in resolve_functions(source)]
+        assert names == ["alpha", "beta"]
+        only = resolve_functions(source, "beta")
+        assert len(only) == 1 and only[0][0] == "beta"
+        with pytest.raises(SourceResolutionError, match="available: alpha, beta"):
+            resolve_functions(source, "gamma")
+
+    def test_resolve_functions_package_file(self):
+        names = [name for name, _ in resolve_functions(CORPUS_PATH)]
+        assert "crc32_step" in names and "popcount32" in names
+
+    def test_to_dot_highlight_keeps_forbidden_dash(self):
+        graph = graph_for_function(crc32_step)
+        forbidden = next(n.node_id for n in graph.nodes() if n.forbidden)
+        text = to_dot(graph, highlight={forbidden})
+        line = next(l for l in text.splitlines() if f"n{forbidden} " in l)
+        assert "dashed" in line and "filled" in line
+
+    def test_profile_kernel_matches_direct_profile(self):
+        direct = profile_function(
+            CORPUS["bit_reverse8"].fn, CORPUS["bit_reverse8"].calls
+        )
+        via_registry = profile_kernel("bit_reverse8")
+        assert direct.execution_counts() == via_registry.execution_counts()
