@@ -650,6 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
         "target", help="kernel name, DFG JSON file, or Python source (file.py::func)"
     )
     p_enum.add_argument("--show-cuts", action="store_true", help="print every cut")
+    _add_profile_argument(p_enum)
     p_enum.add_argument(
         "--from-source",
         action="store_true",
@@ -667,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--max-ops", type=int, default=40)
     p_cmp.add_argument("--no-kernels", action="store_true")
     p_cmp.add_argument("--no-trees", action="store_true")
+    _add_profile_argument(p_cmp)
     _add_engine_arguments(p_cmp, multiple=True)
     _add_constraint_arguments(p_cmp)
     _add_cache_arguments(p_cmp)
@@ -790,10 +792,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile-enum",
+        action="store_true",
+        help="run the command under cProfile and print the top-20 "
+        "cumulative-time entries to stderr (perf-investigation aid)",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-enum`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "profile_enum", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return args.func(args)
+        finally:
+            profiler.disable()
+            print("\n--- cProfile: top 20 by cumulative time ---", file=sys.stderr)
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(20)
     return args.func(args)
 
 

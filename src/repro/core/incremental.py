@@ -11,9 +11,28 @@ the search lies on a path contributed earlier.  Because the body is a Python
 integer bit mask, "saving the old tail of S" (Section 5.4) is free — the
 recursion simply keeps the previous mask.
 
+The hot path is organised around precomputation and incrementality:
+
+* the ``B({w}, o)`` contributions come from the context's
+  :class:`~repro.core.context.ContributionTables` (one closure intersection
+  per (vertex, output) pair, computed once and shared across pruning
+  configurations and batch workers through the engine's context cache);
+* the dominator queries go through the context's shared caches — one
+  Lengauer–Tarjan run per distinct *reachable region*, answering the
+  completion query of every output of that region;
+* the postdominator pair-loops of the admissibility and input–input checks
+  are single mask intersections against precomputed comparability masks;
+* the per-cut acceptance test derives inputs, outputs and convexity in one
+  pass over the candidate's set bits
+  (:meth:`~repro.dfg.reachability.ReachabilityIndex.cut_profile`); the full
+  definitional re-derivation (:func:`~repro.core.validity.check_cut_mask`)
+  runs only as a debug assertion when ``REPRO_DEBUG_VALIDITY`` is set.
+
 The pruning techniques of Section 5.3 are individually switchable through
 :class:`~repro.core.pruning.PruningConfig`; the test-suite verifies that every
-configuration reports exactly the same set of cuts, and the ablation benchmark
+configuration reports exactly the same set of cuts (and that the optimized
+paths stay bit-identical to the frozen pre-optimization snapshot in
+:mod:`repro.baselines.legacy_incremental`), and the ablation benchmark
 measures how much search each rule removes.
 """
 
@@ -22,15 +41,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..dfg.graph import DataFlowGraph
-from ..dfg.reachability import ids_from_mask, iterate_mask, popcount
-from ..dominators.generalized import reachable_mask_avoiding
-from ..dominators.multi_vertex import CompletionResult, dominator_completions
+from ..dfg.reachability import ids_from_mask
 from .constraints import Constraints
 from .context import EnumerationContext
 from .cut import Cut
 from .pruning import FULL_PRUNING, PruningConfig
 from .stats import EnumerationResult, EnumerationStats, Stopwatch
-from .validity import check_cut_mask
+from .validity import _cut_depth, _is_connected_mask, check_cut_mask, debug_validation_enabled
 
 ALGORITHM_NAME = "poly-enum-incremental"
 
@@ -66,13 +83,14 @@ class IncrementalEnumerator:
         self.pruning = pruning
         self.stats = EnumerationStats()
         self._found: Dict[int, Cut] = {}
-        # Memoisation: the same (input set, output) dominator query and the
-        # same (inputs, outputs, body) search state are reached through many
-        # different orderings of the same choices; both caches collapse those
-        # orderings without changing the set of reachable states.
-        self._completion_cache: Dict[Tuple[int, int], object] = {}
-        self._reachable_cache: Dict[int, int] = {}
+        # Search-state dedup: the same (inputs, outputs, body) state is
+        # reached through many different orderings of the same choices; the
+        # set collapses those orderings without changing the reachable
+        # states.  (The dominator/contribution memoisation lives on the
+        # context and is shared across runs.)
         self._visited_states: set = set()
+        self._tables = self.ctx.contribution_tables
+        self._debug_validate = debug_validation_enabled()
         # Candidate outputs in topological order: picking outputs
         # ancestors-first guarantees every output set can be selected without
         # tripping the output-output pruning.
@@ -83,20 +101,31 @@ class IncrementalEnumerator:
             self.ctx.candidate_nodes, key=lambda v: topo_positions[v]
         )
         self._forbidden_succ_mask = self._nodes_with_forbidden_successor()
+        # Postdominator comparability rows: bit u of row v set iff u
+        # (post)dominates v or vice versa.  Replaces the pair-loops of the
+        # output-admissibility and input-input checks with one AND each.
+        postdom = self.ctx.postdom_tree
+        self._postdom_comparable: List[int] = [
+            postdom.comparability_mask(v) for v in range(self.ctx.num_nodes)
+        ]
 
     # ------------------------------------------------------------------ #
     def run(self) -> EnumerationResult:
         """Execute the search and return the enumeration result."""
+        reach = self.ctx.reach
+        hits_before = reach.forbidden_cache_hits
+        misses_before = reach.forbidden_cache_misses
         with Stopwatch(self.stats):
             self._pick_output(
                 inputs_mask=0,
                 outputs_mask=0,
                 body_mask=0,
-                chosen=(),
                 nin_left=self.ctx.max_inputs,
                 nout_left=self.ctx.max_outputs,
             )
         self.stats.cuts_found = len(self._found)
+        self.stats.forbidden_cache_hits = reach.forbidden_cache_hits - hits_before
+        self.stats.forbidden_cache_misses = reach.forbidden_cache_misses - misses_before
         return EnumerationResult(
             cuts=list(self._found.values()),
             stats=self.stats,
@@ -112,46 +141,58 @@ class IncrementalEnumerator:
         inputs_mask: int,
         outputs_mask: int,
         body_mask: int,
-        chosen: Tuple[int, ...],
         nin_left: int,
         nout_left: int,
     ) -> None:
         self.stats.pick_output_calls += 1
         ctx = self.ctx
         reach = ctx.reach
-        postdom = ctx.postdom_tree
+        tables = self._tables
+        comparable = self._postdom_comparable
 
         has_internal_outputs = False
-        if chosen and (self.pruning.connected_recovery or ctx.constraints.connected_only):
+        require_connected = ctx.constraints.connected_only
+        if outputs_mask and (self.pruning.connected_recovery or require_connected):
             effective = body_mask & ~inputs_mask & ~ctx.forbidden_mask
             current_outputs = reach.cut_outputs_mask(effective)
-            has_internal_outputs = popcount(current_outputs) > len(chosen)
+            has_internal_outputs = (
+                current_outputs.bit_count() > outputs_mask.bit_count()
+            )
+        if not require_connected:
+            require_connected = (
+                self.pruning.connected_recovery and has_internal_outputs
+            )
 
         for output in self._output_candidates:
             if (outputs_mask >> output) & 1:
                 continue
-            if self._inadmissible_output(postdom, chosen, output):
+            # Section 5.1: chosen outputs may not postdominate one another.
+            if comparable[output] & outputs_mask:
                 continue
-            if self.pruning.output_output and self._ancestor_of_chosen(output, chosen):
+            if self.pruning.output_output and (
+                reach.descendants_mask(output) & outputs_mask
+            ):
+                # Output-output pruning: ancestors of a chosen output.
                 self.stats.count_pruned("output_output")
                 continue
-            if chosen and self._requires_connected(has_internal_outputs):
-                if inputs_mask == 0 or not reach.reached_by_any(output, inputs_mask):
+            if outputs_mask and require_connected:
+                if inputs_mask == 0 or not (
+                    reach.ancestors_mask(output) & inputs_mask
+                ):
                     self.stats.count_pruned("connectedness")
                     continue
 
             new_outputs_mask = outputs_mask | (1 << output)
             if inputs_mask:
-                new_body_mask = body_mask | reach.between_mask(inputs_mask, output)
+                new_body_mask = body_mask | tables.between_union(inputs_mask, output)
             else:
                 new_body_mask = body_mask
 
-            if inputs_mask and self._dominates(inputs_mask, output):
+            if inputs_mask and ctx.dominated_by(inputs_mask, output):
                 self._check_cut(
                     inputs_mask,
                     new_outputs_mask,
                     new_body_mask,
-                    chosen + (output,),
                     nin_left,
                     nout_left - 1,
                 )
@@ -161,30 +202,9 @@ class IncrementalEnumerator:
                     output,
                     new_outputs_mask,
                     new_body_mask,
-                    chosen + (output,),
                     nin_left,
                     nout_left - 1,
                 )
-
-    def _requires_connected(self, has_internal_outputs: bool) -> bool:
-        if self.ctx.constraints.connected_only:
-            return True
-        return self.pruning.connected_recovery and has_internal_outputs
-
-    def _inadmissible_output(self, postdom, chosen: Tuple[int, ...], output: int) -> bool:
-        """Section 5.1: chosen outputs may not postdominate one another."""
-        for previous in chosen:
-            if postdom.dominates(previous, output) or postdom.dominates(output, previous):
-                return True
-        return False
-
-    def _ancestor_of_chosen(self, output: int, chosen: Tuple[int, ...]) -> bool:
-        """Output-output pruning: skip vertices that are ancestors of a chosen output."""
-        reach = self.ctx.reach
-        for previous in chosen:
-            if reach.has_path(output, previous):
-                return True
-        return False
 
     # ------------------------------------------------------------------ #
     # PICK-INPUTS
@@ -195,24 +215,25 @@ class IncrementalEnumerator:
         output: int,
         outputs_mask: int,
         body_mask: int,
-        chosen: Tuple[int, ...],
         nin_left: int,
         nout_left: int,
     ) -> None:
         self.stats.pick_input_calls += 1
         ctx = self.ctx
-        reach = ctx.reach
+        tables = self._tables
+        comparable = self._postdom_comparable
 
         state = (inputs_mask, outputs_mask, body_mask, output)
         if state in self._visited_states:
             return
         self._visited_states.add(state)
 
-        step = self._completions(inputs_mask, output)
+        step, fresh_lt_calls = ctx.dominator_completions_for(inputs_mask, output)
+        self.stats.lt_calls += fresh_lt_calls
 
         if step.already_dominated:
             self._check_cut(
-                inputs_mask, outputs_mask, body_mask, chosen, nin_left, nout_left
+                inputs_mask, outputs_mask, body_mask, nin_left, nout_left
             )
             return
 
@@ -228,7 +249,7 @@ class IncrementalEnumerator:
             ):
                 continue
             new_inputs_mask = inputs_mask | (1 << completion)
-            new_body_mask = body_mask | reach.between_mask(1 << completion, output)
+            new_body_mask = body_mask | tables.between(completion, output)
             if self.pruning.prune_while_building and self._prune_body(
                 new_body_mask, new_inputs_mask
             ):
@@ -237,7 +258,6 @@ class IncrementalEnumerator:
                 new_inputs_mask,
                 outputs_mask,
                 new_body_mask,
-                chosen,
                 nin_left - 1,
                 nout_left,
             )
@@ -254,7 +274,7 @@ class IncrementalEnumerator:
                 ):
                     continue
                 new_inputs_mask = inputs_mask | (1 << seed)
-                new_body_mask = body_mask | reach.between_mask(1 << seed, output)
+                new_body_mask = body_mask | tables.between(seed, output)
                 if self.pruning.prune_while_building and self._prune_body(
                     new_body_mask, new_inputs_mask
                 ):
@@ -264,7 +284,6 @@ class IncrementalEnumerator:
                     output,
                     outputs_mask,
                     new_body_mask,
-                    chosen,
                     nin_left - 1,
                     nout_left,
                 )
@@ -306,8 +325,8 @@ class IncrementalEnumerator:
         outputs, so more than ``Nout`` of them dooms the whole branch.
         """
         effective = body_mask & ~inputs_mask & ~self.ctx.forbidden_mask
-        unavoidable_outputs = popcount(effective & self._forbidden_succ_mask)
-        if unavoidable_outputs > self.ctx.max_outputs:
+        unavoidable = (effective & self._forbidden_succ_mask).bit_count()
+        if unavoidable > self.ctx.max_outputs:
             self.stats.count_pruned("too_many_unavoidable_outputs")
             return True
         return False
@@ -318,7 +337,8 @@ class IncrementalEnumerator:
         A forbidden vertex lying on a path from the candidate input to the
         output ends up inside the constructed body unless it is itself chosen
         as an input — so forbidden vertices already promoted to inputs are
-        ignored by the test.
+        ignored by the test.  The forbidden interiors come from the
+        contribution tables, so the query is one precomputed-row lookup.
 
         The paper additionally proposes a static bound based on counting the
         forbidden predecessors of the vertices between the candidate and the
@@ -329,75 +349,17 @@ class IncrementalEnumerator:
         forbidden predecessor never becomes one — and it is therefore not
         applied; see EXPERIMENTS.md.
         """
-        ctx = self.ctx
-        reach = ctx.reach
-        interior = (
-            reach.descendants_mask(candidate)
-            & reach.ancestors_mask(output)
-            & ctx.forbidden_mask
-            & ~inputs_mask
-        )
-        if interior:
+        if self._tables.forbidden_interior(candidate, output) & ~inputs_mask:
             self.stats.count_pruned("output_input_forbidden_path")
             return True
         return False
 
     def _input_input_prune(self, inputs_mask: int, candidate: int) -> bool:
         """Input-input pruning: postdominance between seed-set members."""
-        postdom = self.ctx.postdom_tree
-        for existing in iterate_mask(inputs_mask):
-            if postdom.dominates(candidate, existing) or postdom.dominates(
-                existing, candidate
-            ):
-                self.stats.count_pruned("input_input_postdom")
-                return True
+        if self._postdom_comparable[candidate] & inputs_mask:
+            self.stats.count_pruned("input_input_postdom")
+            return True
         return False
-
-    def _reachable_avoiding(self, inputs_mask: int) -> int:
-        """Vertices reachable from the root once the current inputs are removed.
-
-        Two different input sets that leave the same reachable region induce
-        the same reduced graph, so this mask doubles as the key of the
-        Lengauer–Tarjan memoisation.
-        """
-        cached = self._reachable_cache.get(inputs_mask)
-        if cached is not None:
-            return cached
-        reachable = reachable_mask_avoiding(
-            self.ctx.num_nodes,
-            self.ctx.successor_lists,
-            self.ctx.source,
-            inputs_mask,
-        )
-        self._reachable_cache[inputs_mask] = reachable
-        return reachable
-
-    def _completions(self, inputs_mask: int, output: int):
-        """Memoised Dubrova reduction step for (current inputs, output)."""
-        reachable = self._reachable_avoiding(inputs_mask)
-        if not ((reachable >> output) & 1):
-            return CompletionResult(already_dominated=True, completions=[], lt_calls=0)
-        key = (reachable, output)
-        cached = self._completion_cache.get(key)
-        if cached is not None:
-            return cached
-        step = dominator_completions(
-            self.ctx.num_nodes,
-            self.ctx.successor_lists,
-            self.ctx.source,
-            output,
-            seed_mask=inputs_mask,
-        )
-        self.stats.lt_calls += step.lt_calls
-        self._completion_cache[key] = step
-        return step
-
-    def _dominates(self, inputs_mask: int, output: int) -> bool:
-        """Condition 1 of Definition 5 for the current input set and *output*."""
-        if not inputs_mask:
-            return False
-        reachable = self._reachable_avoiding(inputs_mask)
-        return not ((reachable >> output) & 1)
 
     # ------------------------------------------------------------------ #
     # CHECK-CUT
@@ -407,7 +369,6 @@ class IncrementalEnumerator:
         inputs_mask: int,
         outputs_mask: int,
         body_mask: int,
-        chosen: Tuple[int, ...],
         nin_left: int,
         nout_left: int,
     ) -> None:
@@ -420,7 +381,7 @@ class IncrementalEnumerator:
         self._maybe_record(inputs_mask, outputs_mask, body_mask)
         if nout_left > 0:
             self._pick_output(
-                inputs_mask, outputs_mask, body_mask, chosen, nin_left, nout_left
+                inputs_mask, outputs_mask, body_mask, nin_left, nout_left
             )
 
     def _maybe_record(self, inputs_mask: int, outputs_mask: int, body_mask: int) -> None:
@@ -432,11 +393,14 @@ class IncrementalEnumerator:
         effective = body_mask & ~inputs_mask & ~ctx.forbidden_mask
         if effective == 0:
             return
-        actual_outputs = ctx.reach.cut_outputs_mask(effective)
+        # One pass over the candidate's set bits yields I(S), O(S) and the
+        # convexity verdict; the definitional re-derivation runs only under
+        # REPRO_DEBUG_VALIDITY (see below).
+        cut_inputs, actual_outputs, convex = ctx.reach.cut_profile(effective)
         if self.pruning.output_output:
             # Relaxed acceptance: internal outputs are allowed as long as the
             # total stays within the budget.
-            if popcount(actual_outputs) > ctx.max_outputs:
+            if actual_outputs.bit_count() > ctx.max_outputs:
                 return
         else:
             if actual_outputs != outputs_mask:
@@ -444,7 +408,22 @@ class IncrementalEnumerator:
         if effective in self._found:
             self.stats.duplicates += 1
             return
-        report = check_cut_mask(ctx, effective)
-        if not report.valid:
+        valid = (
+            convex
+            and cut_inputs.bit_count() <= ctx.max_inputs
+            and actual_outputs.bit_count() <= ctx.max_outputs
+        )
+        constraints = ctx.constraints
+        if valid and constraints.connected_only:
+            valid = _is_connected_mask(ctx, effective, actual_outputs)
+        if valid and constraints.max_depth is not None:
+            valid = _cut_depth(ctx, effective) <= constraints.max_depth
+        if self._debug_validate:
+            report = check_cut_mask(ctx, effective)
+            assert report.valid == valid, (
+                f"fast acceptance disagrees with check_cut_mask on "
+                f"{effective:#x}: fast={valid} report={report}"
+            )
+        if not valid:
             return
         self._found[effective] = Cut.from_mask(ctx, effective)

@@ -28,6 +28,10 @@ class EnumerationStats:
     pick_input_calls: int = 0
     pruned: Dict[str, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    #: Hit/miss counters of the ReachabilityIndex forbidden-between memo
+    #: (bounded; see repro.dfg.reachability.FORBIDDEN_BETWEEN_CACHE_LIMIT).
+    forbidden_cache_hits: int = 0
+    forbidden_cache_misses: int = 0
 
     def count_pruned(self, rule: str, amount: int = 1) -> None:
         """Record that *rule* pruned *amount* branches."""
@@ -42,6 +46,8 @@ class EnumerationStats:
         self.pick_output_calls += other.pick_output_calls
         self.pick_input_calls += other.pick_input_calls
         self.elapsed_seconds += other.elapsed_seconds
+        self.forbidden_cache_hits += other.forbidden_cache_hits
+        self.forbidden_cache_misses += other.forbidden_cache_misses
         for rule, amount in other.pruned.items():
             self.count_pruned(rule, amount)
 
@@ -56,6 +62,12 @@ class EnumerationStats:
             f"input expansions    : {self.pick_input_calls}",
             f"elapsed             : {self.elapsed_seconds:.4f} s",
         ]
+        if self.forbidden_cache_hits or self.forbidden_cache_misses:
+            lines.append(
+                "forbidden-path cache: "
+                f"{self.forbidden_cache_hits} hits / "
+                f"{self.forbidden_cache_misses} misses"
+            )
         for rule in sorted(self.pruned):
             lines.append(f"pruned[{rule}]: {self.pruned[rule]}")
         return "\n".join(lines)

@@ -8,6 +8,7 @@ oracle, and by the property-based tests that encode the paper's theorems.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -15,6 +16,18 @@ from ..dfg.reachability import ids_from_mask, iterate_mask, popcount
 from ..dominators.generalized import reachable_mask_avoiding
 from .context import EnumerationContext
 from .cut import build_body_mask
+
+#: Environment variable enabling the per-cut debug cross-check: when set (to
+#: any non-empty value), the optimized enumerators re-derive every recorded
+#: candidate through :func:`check_cut_mask` and assert agreement with their
+#: fast acceptance test.  Off by default — the re-derivation is exactly the
+#: per-cut cost the hot-path optimisation removed.
+DEBUG_VALIDITY_ENV = "REPRO_DEBUG_VALIDITY"
+
+
+def debug_validation_enabled() -> bool:
+    """``True`` when the ``REPRO_DEBUG_VALIDITY`` cross-check is switched on."""
+    return bool(os.environ.get(DEBUG_VALIDITY_ENV))
 
 
 @dataclass

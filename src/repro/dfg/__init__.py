@@ -27,6 +27,7 @@ from .opcodes import (
     software_latency,
 )
 from .reachability import (
+    ReachabilityIndex,
     ReachabilityInfo,
     ids_from_mask,
     iterate_mask,
@@ -59,6 +60,7 @@ __all__ = [
     "is_memory",
     "opcode_info",
     "software_latency",
+    "ReachabilityIndex",
     "ReachabilityInfo",
     "ids_from_mask",
     "iterate_mask",

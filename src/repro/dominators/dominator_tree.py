@@ -42,6 +42,7 @@ class DominatorTree:
         self._tout = [-1] * n
         self._depth = [-1] * n
         self._compute_intervals()
+        self._comparability: Optional[List[int]] = None
 
     @classmethod
     def from_graph(
@@ -109,6 +110,44 @@ class DominatorTree:
         while current != self.root:
             current = self._idom[current]  # type: ignore[assignment]
             yield current
+
+    def comparability_mask(self, node: int) -> int:
+        """Mask of the vertices *comparable* with *node* in the tree.  O(1).
+
+        ``u`` is comparable with ``v`` when one dominates the other
+        (reflexively): the mask is the union of *node*'s subtree and its
+        chain of strict dominators, plus *node* itself.  The enumeration
+        hot path uses it to collapse "does any chosen vertex (post)dominate
+        this candidate, or vice versa?" loops into a single AND against the
+        chosen-set mask.  Unreachable vertices are comparable with nothing.
+        """
+        if self._comparability is None:
+            self._comparability = self._compute_comparability()
+        return self._comparability[node]
+
+    def _compute_comparability(self) -> List[int]:
+        n = len(self._idom)
+        subtree = [0] * n
+        ancestors = [0] * n
+        # Children before parents: a reversed pre-order works because every
+        # child has a strictly larger entry time than its parent.
+        pre_order = sorted(
+            (v for v in range(n) if self._idom[v] is not None),
+            key=lambda v: self._tin[v],
+        )
+        for v in reversed(pre_order):
+            mask = 1 << v
+            for child in self._children[v]:
+                mask |= subtree[child]
+            subtree[v] = mask
+        for v in pre_order:
+            if v != self.root:
+                parent = self._idom[v]
+                ancestors[v] = ancestors[parent] | (1 << parent)
+        return [
+            (subtree[v] | ancestors[v]) if self._idom[v] is not None else 0
+            for v in range(n)
+        ]
 
     def dominance_frontier_size_hint(self) -> int:
         """Number of reachable vertices (useful for statistics/reporting)."""

@@ -44,9 +44,11 @@ class DominatorSearchStats:
     lt_calls: int = 0
 
 
-@dataclass
+@dataclass(frozen=True)
 class CompletionResult:
-    """Result of one Dubrova reduction step.
+    """Result of one Dubrova reduction step.  Immutable: instances are
+    memoised on shared :class:`~repro.core.context.EnumerationContext`
+    caches and served to many enumeration runs.
 
     Attributes
     ----------
@@ -99,6 +101,30 @@ def dominator_completions(
         return CompletionResult(already_dominated=True, completions=[], lt_calls=1)
     completions = strict_dominators(idom, target, root)
     return CompletionResult(already_dominated=False, completions=completions, lt_calls=1)
+
+
+def completions_from_idom(
+    idom: Sequence[Optional[int]],
+    root: int,
+    target: int,
+) -> CompletionResult:
+    """Derive one reduction step from an already-computed dominator array.
+
+    The Lengauer–Tarjan pass of :func:`dominator_completions` computes the
+    immediate dominators of **every** vertex of the reduced graph, not just
+    of one target — so one ``idom`` array (keyed, in the enumeration hot
+    path, by the reachable region the seed set leaves behind) answers the
+    completion query for *all* candidate outputs of that region.  The
+    returned result reports ``lt_calls=0``: the caller charges the single
+    Lengauer–Tarjan invocation when it builds the shared array.
+    """
+    if idom[target] is None:
+        return CompletionResult(already_dominated=True, completions=[], lt_calls=0)
+    return CompletionResult(
+        already_dominated=False,
+        completions=strict_dominators(idom, target, root),
+        lt_calls=0,
+    )
 
 
 def enumerate_generalized_dominators(

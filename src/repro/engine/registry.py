@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..baselines.brute_force import MAX_CANDIDATES, enumerate_cuts_brute_force
 from ..baselines.connected_only import enumerate_connected_cuts
 from ..baselines.exhaustive import enumerate_cuts_exhaustive
+from ..baselines.legacy_incremental import enumerate_cuts_legacy
 from ..core.constraints import Constraints
 from ..core.context import EnumerationContext
 from ..core.enumeration import enumerate_cuts_basic
@@ -258,6 +259,15 @@ def _run_connected(request: EnumerationRequest) -> EnumerationResult:
     return enumerate_connected_cuts(request.graph, request.constraints)
 
 
+def _run_legacy_incremental(request: EnumerationRequest) -> EnumerationResult:
+    return enumerate_cuts_legacy(
+        request.graph,
+        request.constraints,
+        pruning=request.pruning or FULL_PRUNING,
+        context=request.context,
+    )
+
+
 register_algorithm(
     DEFAULT_ALGORITHM,
     _run_incremental,
@@ -296,4 +306,15 @@ register_algorithm(
     AlgorithmCapabilities(supports_context=False, semantics=SEMANTICS_CONNECTED),
     description="Connected-cut enumeration (Yu & Mitra [17] style restriction)",
     aliases=("connected",),
+)
+register_algorithm(
+    "poly-enum-incremental-legacy",
+    _run_legacy_incremental,
+    AlgorithmCapabilities(supports_pruning=True, semantics=SEMANTICS_PAPER),
+    description=(
+        "Pre-optimization snapshot of the incremental algorithm — the "
+        "measured baseline of the perf-regression gate (bit-identical cuts, "
+        "old cost profile)"
+    ),
+    aliases=("legacy",),
 )

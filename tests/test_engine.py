@@ -25,8 +25,9 @@ from repro.engine import (
 from repro.ise import BlockProfile, identify_instruction_set_extension
 from repro.workloads import WorkloadSuite, build_kernel
 
-ALL_FIVE = (
+ALL_ALGORITHMS = (
     "poly-enum-incremental",
+    "poly-enum-incremental-legacy",
     "poly-enum-basic",
     "exhaustive",
     "brute-force",
@@ -38,11 +39,11 @@ ALL_FIVE = (
 # Registry
 # --------------------------------------------------------------------------- #
 class TestRegistry:
-    def test_all_five_algorithms_registered(self):
-        assert sorted(ALL_FIVE) == available_algorithms()
+    def test_all_builtin_algorithms_registered(self):
+        assert sorted(ALL_ALGORITHMS) == available_algorithms()
 
     def test_get_algorithm_by_name_and_alias(self):
-        for name in ALL_FIVE:
+        for name in ALL_ALGORITHMS:
             assert get_algorithm(name).name == name
         assert get_algorithm("poly").name == "poly-enum-incremental"
         assert get_algorithm("exhaustive-[15]").name == "exhaustive"
@@ -100,7 +101,7 @@ class TestRegistry:
 # --------------------------------------------------------------------------- #
 def _cut_sets(graph, constraints):
     return {
-        name: get_algorithm(name)(graph, constraints).node_sets() for name in ALL_FIVE
+        name: get_algorithm(name)(graph, constraints).node_sets() for name in ALL_ALGORITHMS
     }
 
 
