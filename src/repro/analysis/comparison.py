@@ -11,14 +11,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..baselines.exhaustive import enumerate_cuts_exhaustive
 from ..core.constraints import Constraints
 from ..core.incremental import enumerate_cuts
 from ..core.stats import EnumerationResult
 from ..dfg.graph import DataFlowGraph
-from ..engine.batch import BatchItem, BatchRunner
+from ..engine.batch import BatchItem, BatchRunner, resolve_jobs
 from ..engine.registry import (
     EnumerationRequest,
     available_algorithms,
@@ -157,7 +157,7 @@ def compare_on_suite(
     algorithms: Optional[Sequence[AlgorithmEntry]] = None,
     cluster_of: Optional[Callable[[DataFlowGraph], str]] = None,
     repeat: int = 1,
-    jobs: int = 1,
+    jobs: Union[int, str] = 1,
     timeout: Optional[float] = None,
     store: Optional[ResultStore] = None,
     progress=None,
@@ -180,7 +180,8 @@ def compare_on_suite(
         sequential, store-less runs (``jobs == 1`` and ``store is None``);
         the batch-runner path measures each block once.
     jobs:
-        Number of worker processes per algorithm.  Parallel runs require
+        Number of worker processes per algorithm (an integer, or ``"auto"``
+        for the machine's CPU count).  Parallel runs require
         every entry to come from the registry
         (:func:`algorithms_from_registry`), and report the wall-clock time
         measured inside the worker.
@@ -206,6 +207,7 @@ def compare_on_suite(
     constraints = constraints or Constraints(max_inputs=4, max_outputs=2)
     algorithms = list(algorithms or default_algorithms())
     report = ComparisonReport(constraints=constraints)
+    jobs = resolve_jobs(jobs)
 
     if jobs > 1 or store is not None:
         unsupported = [e.name for e in algorithms if e.registry_name is None]
@@ -215,14 +217,15 @@ def compare_on_suite(
                 f"algorithm entries; not in the registry: {', '.join(unsupported)}"
             )
         for entry in algorithms:
-            runner = BatchRunner(
+            with BatchRunner(
                 algorithm=entry.registry_name,
                 constraints=constraints,
                 jobs=jobs,
                 timeout=timeout,
                 store=store,
-            )
-            for item in runner.run(graphs, progress=progress).items:
+            ) as runner:
+                report_items = runner.run(graphs, progress=progress).items
+            for item in report_items:
                 if not item.ok:
                     raise RuntimeError(
                         f"algorithm {entry.name!r} failed on block "

@@ -89,9 +89,10 @@ def _add_engine_arguments(
         )
     parser.add_argument(
         "--jobs",
-        type=_positive_int,
+        type=_jobs_value,
         default=1,
-        help="number of enumeration worker processes (default 1)",
+        help='number of enumeration worker processes, or "auto" for the '
+        "machine's CPU count (default 1)",
     )
     parser.add_argument(
         "--timeout",
@@ -166,6 +167,18 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _jobs_value(text: str):
+    """``--jobs`` accepts a positive integer or the literal ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        return _positive_int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f'must be a positive integer or "auto", got {text!r}'
+        )
 
 
 def _positive_float(text: str) -> float:

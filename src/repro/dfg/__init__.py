@@ -34,7 +34,17 @@ from .reachability import (
     mask_from_ids,
     popcount,
 )
-from .serialization import dumps, graph_from_dict, graph_to_dict, load, loads, save
+from .serialization import (
+    WIRE_VERSION,
+    dumps,
+    graph_from_dict,
+    graph_from_wire,
+    graph_to_dict,
+    graph_to_wire,
+    load,
+    loads,
+    save,
+)
 from .validate import ValidationError, ValidationReport, validate_graph
 
 __all__ = [
@@ -72,6 +82,9 @@ __all__ = [
     "load",
     "graph_to_dict",
     "graph_from_dict",
+    "graph_to_wire",
+    "graph_from_wire",
+    "WIRE_VERSION",
     "ValidationError",
     "ValidationReport",
     "validate_graph",

@@ -19,6 +19,7 @@ Terminology (mirroring the paper):
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
@@ -48,6 +49,7 @@ class DataFlowGraph:
         self._succs: List[List[int]] = []
         self._edge_set: Set[Tuple[int, int]] = set()
         self._topo_cache: Optional[List[int]] = None
+        self._structural_hash: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -95,6 +97,7 @@ class DataFlowGraph:
         self._preds.append([])
         self._succs.append([])
         self._topo_cache = None
+        self._structural_hash = None
         return node_id
 
     def add_edge(self, src: int, dst: int) -> None:
@@ -114,6 +117,7 @@ class DataFlowGraph:
         self._succs[src].append(dst)
         self._preds[dst].append(src)
         self._topo_cache = None
+        self._structural_hash = None
 
     def _check_id(self, node_id: int) -> None:
         if not 0 <= node_id < len(self._nodes):
@@ -184,6 +188,43 @@ class DataFlowGraph:
         """Opcode of vertex *node_id*."""
         return self.node(node_id).opcode
 
+    def structural_hash(self) -> str:
+        """Cached SHA-256 fingerprint of the graph's full content.
+
+        Covers the name, every node record (opcode, name, forbidden,
+        live-out, attributes) and the edge set — everything the stable JSON
+        serialization covers — so two graph objects share a hash exactly
+        when :func:`repro.dfg.serialization.graph_to_dict` would emit the
+        same document.  Unlike the JSON pass this is computed **once** and
+        cached; mutations through the graph API (:meth:`add_node`,
+        :meth:`add_edge`, :meth:`set_forbidden`, :meth:`set_live_out`)
+        invalidate it.  Mutating a :class:`~repro.dfg.node.DFGNode` record
+        directly bypasses the invalidation — use the setters.
+
+        This is the fingerprint of the engine's context cache, the batch
+        wire format and the worker-resident graph registries.
+        """
+        cached = self._structural_hash
+        if cached is None:
+            parts: List[str] = [repr(self.name)]
+            for node in self._nodes:
+                parts.append(
+                    repr(
+                        (
+                            node.opcode.value,
+                            node.name,
+                            node.forbidden,
+                            node.live_out,
+                            sorted(node.attributes.items()) if node.attributes else (),
+                        )
+                    )
+                )
+            parts.append(repr(sorted(self._edge_set)))
+            digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+            cached = digest.hexdigest()
+            self._structural_hash = cached
+        return cached
+
     # ------------------------------------------------------------------ #
     # Paper-specific vertex sets
     # ------------------------------------------------------------------ #
@@ -230,10 +271,12 @@ class DataFlowGraph:
                 f"vertex {node.label} is external/artificial and must stay forbidden"
             )
         node.forbidden = forbidden
+        self._structural_hash = None
 
     def set_live_out(self, node_id: int, live_out: bool = True) -> None:
         """Flag a vertex as live outside the basic block (member of ``Oext``)."""
         self.node(node_id).live_out = live_out
+        self._structural_hash = None
 
     # ------------------------------------------------------------------ #
     # Traversals

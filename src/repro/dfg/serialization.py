@@ -36,6 +36,9 @@ SCHEMA_VERSION = 1
 #: Schema versions :func:`graph_from_dict` knows how to read.
 SUPPORTED_SCHEMA_VERSIONS = frozenset({1})
 
+#: Version of the compact in-memory wire format (:func:`graph_to_wire`).
+WIRE_VERSION = 1
+
 
 def graph_to_dict(graph: DataFlowGraph) -> Dict[str, object]:
     """Convert a DFG to a JSON-serialisable dictionary."""
@@ -94,6 +97,65 @@ def graph_from_dict(data: Dict[str, object]) -> DataFlowGraph:
         assert node_id == expected_id
     for src, dst in data["edges"]:  # type: ignore[union-attr]
         graph.add_edge(int(src), int(dst))
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# Compact wire format (process-to-process, not for disk)
+# --------------------------------------------------------------------------- #
+def graph_to_wire(graph: DataFlowGraph) -> tuple:
+    """Convert a DFG to a compact, picklable tuple.
+
+    The wire form is the hot-path sibling of :func:`graph_to_dict`: same
+    information, but plain nested tuples instead of a dictionary-of-
+    dictionaries document, so shipping a graph to a batch worker costs one
+    cheap pickle instead of a JSON encode/decode round-trip.  It is **not** a
+    storage format — it carries no self-describing field names and its layout
+    may change between versions (:data:`WIRE_VERSION` guards mismatches
+    within one process tree).
+
+    Layout::
+
+        (WIRE_VERSION, name,
+         ((opcode_value, node_name, forbidden, live_out, attr_pairs), ...),
+         ((src, dst), ...))
+    """
+    return (
+        WIRE_VERSION,
+        graph.name,
+        tuple(
+            (
+                node.opcode.value,
+                node.name,
+                node.forbidden,
+                node.live_out,
+                tuple(sorted(node.attributes.items())) if node.attributes else (),
+            )
+            for node in graph.nodes()
+        ),
+        tuple(sorted(graph.edges())),
+    )
+
+
+def graph_from_wire(wire: tuple) -> DataFlowGraph:
+    """Rebuild a DFG from :func:`graph_to_wire` output."""
+    version, name, nodes, edges = wire
+    if version != WIRE_VERSION:
+        raise ValueError(
+            f"graph {name!r}: unsupported DFG wire version {version!r} "
+            f"(this build speaks version {WIRE_VERSION})"
+        )
+    graph = DataFlowGraph(name=name)
+    for opcode_value, node_name, forbidden, live_out, attr_pairs in nodes:
+        graph.add_node(
+            Opcode(opcode_value),
+            name=node_name,
+            forbidden=forbidden,
+            live_out=live_out,
+            **dict(attr_pairs),
+        )
+    for src, dst in edges:
+        graph.add_edge(src, dst)
     return graph
 
 

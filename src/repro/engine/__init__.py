@@ -18,6 +18,7 @@ from .batch import (
     ContextCache,
     enumerate_batch,
     normalize_blocks,
+    resolve_jobs,
 )
 from .registry import (
     DEFAULT_ALGORITHM,
@@ -42,6 +43,7 @@ __all__ = [
     "ContextCache",
     "enumerate_batch",
     "normalize_blocks",
+    "resolve_jobs",
     "DEFAULT_ALGORITHM",
     "SEMANTICS_ALL_VALID",
     "SEMANTICS_CONNECTED",

@@ -12,7 +12,7 @@ estimated application speedup.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.constraints import Constraints
 from ..core.pruning import FULL_PRUNING, PruningConfig
@@ -91,7 +91,7 @@ def identify_instruction_set_extension(
     pruning: PruningConfig = FULL_PRUNING,
     application_name: str = "application",
     algorithm: str = DEFAULT_ALGORITHM,
-    jobs: int = 1,
+    jobs: Union[int, str] = 1,
     timeout: Optional[float] = None,
     store: Optional[ResultStore] = None,
     batch_runner: Optional[BatchRunner] = None,
@@ -126,7 +126,8 @@ def identify_instruction_set_extension(
     algorithm:
         Registry name of the enumeration algorithm.
     jobs:
-        Number of enumeration worker processes (1 = in-process).
+        Number of enumeration worker processes (1 = in-process), or
+        ``"auto"`` for the machine's CPU count.
     timeout:
         Optional per-block enumeration budget in seconds, charged from the
         moment the block's task starts (queue wait is excluded).  With
@@ -154,9 +155,13 @@ def identify_instruction_set_extension(
         timeout=timeout,
         store=store,
     )
-    # run() drains the stream (store write-back happens per item inside it)
+    # run() drains the stream (store write-back happens per chunk inside it)
     # and restores input order: instruction naming below is deterministic.
-    items = runner.run(list(blocks), progress=progress).items
+    try:
+        items = runner.run(list(blocks), progress=progress).items
+    finally:
+        if batch_runner is None:
+            runner.close()  # release the worker pool of a runner we own
 
     extension = InstructionSetExtension(application=application_name)
     block_results: List[BlockResult] = []

@@ -16,7 +16,7 @@ copies of themselves; they just cannot merge with relabeled isomorphs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core.constraints import Constraints
 from ..core.pruning import PruningConfig
@@ -137,7 +137,7 @@ def _prepare_dedup(
     constraints: Optional[Constraints],
     pruning: Optional[PruningConfig],
     store: Optional[ResultStore],
-    jobs: int,
+    jobs: Union[int, str],
     timeout: Optional[float],
 ):
     """Shared setup of the dedup drivers: runner, items, classes, forms."""
@@ -224,7 +224,7 @@ def iter_enumerate_deduplicated(
     constraints: Optional[Constraints] = None,
     pruning: Optional[PruningConfig] = None,
     store: Optional[ResultStore] = None,
-    jobs: int = 1,
+    jobs: Union[int, str] = 1,
     timeout: Optional[float] = None,
     progress=None,
 ):
@@ -241,11 +241,14 @@ def iter_enumerate_deduplicated(
     )
     total = len(items)
     completed = 0
-    for item in _stream_classes(runner, items, classes, forms, store):
-        completed += 1
-        if progress is not None:
-            progress(item, completed, total)
-        yield item
+    try:
+        for item in _stream_classes(runner, items, classes, forms, store):
+            completed += 1
+            if progress is not None:
+                progress(item, completed, total)
+            yield item
+    finally:
+        runner.close()  # release the worker pool this driver owns
 
 
 def enumerate_deduplicated(
@@ -254,7 +257,7 @@ def enumerate_deduplicated(
     constraints: Optional[Constraints] = None,
     pruning: Optional[PruningConfig] = None,
     store: Optional[ResultStore] = None,
-    jobs: int = 1,
+    jobs: Union[int, str] = 1,
     timeout: Optional[float] = None,
     progress=None,
 ) -> DedupReport:
@@ -281,10 +284,13 @@ def enumerate_deduplicated(
     )
     total = len(items)
     completed = 0
-    for item in _stream_classes(runner, items, classes, forms, store):
-        completed += 1
-        if progress is not None:
-            progress(item, completed, total)
+    try:
+        for item in _stream_classes(runner, items, classes, forms, store):
+            completed += 1
+            if progress is not None:
+                progress(item, completed, total)
+    finally:
+        runner.close()  # release the worker pool this driver owns
     return report
 
 

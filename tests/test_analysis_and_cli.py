@@ -177,6 +177,16 @@ class TestCli:
         assert main(["enumerate", "crc32_step", "--jobs", "2"]) == 0
         assert "cuts" in capsys.readouterr().out
 
+    def test_enumerate_with_jobs_auto(self, capsys):
+        assert main(["enumerate", "crc32_step", "--jobs", "auto"]) == 0
+        assert "cuts" in capsys.readouterr().out
+
+    def test_enumerate_rejects_bad_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["enumerate", "crc32_step", "--jobs", "some"])
+        with pytest.raises(SystemExit):
+            main(["enumerate", "crc32_step", "--jobs", "0"])
+
     def test_enumerate_json_file(self, tmp_path, capsys):
         from repro.dfg.serialization import save
 

@@ -171,3 +171,47 @@ class TestDerivedGraphs:
     def test_induced_subgraph_invalid_vertex(self, diamond_graph):
         with pytest.raises(GraphStructureError):
             diamond_graph.induced_subgraph([0, 999])
+
+
+class TestStructuralHash:
+    """The cached content fingerprint behind the engine/batch caches."""
+
+    def test_identical_construction_shares_hash(self):
+        assert linear_chain(4).structural_hash() == linear_chain(4).structural_hash()
+
+    def test_hash_is_cached_until_mutation(self):
+        graph = linear_chain(4)
+        first = graph.structural_hash()
+        assert graph.structural_hash() is first  # served from the cache
+        graph.add_node(Opcode.ADD)
+        assert graph.structural_hash() != first
+
+    def test_every_mutator_invalidates(self):
+        graph = linear_chain(4)
+        op = graph.operation_nodes()[0]
+        seen = {graph.structural_hash()}
+        extra = graph.add_node(Opcode.ADD)
+        seen.add(graph.structural_hash())
+        graph.add_edge(op, extra)
+        seen.add(graph.structural_hash())
+        graph.set_forbidden(extra, True)
+        seen.add(graph.structural_hash())
+        graph.set_live_out(extra, True)
+        seen.add(graph.structural_hash())
+        assert len(seen) == 5  # every mutation produced a fresh fingerprint
+
+    def test_name_and_labels_are_covered(self):
+        a = linear_chain(3)
+        b = linear_chain(3)
+        b.name = a.name
+        assert a.structural_hash() == b.structural_hash()
+        renamed = a.copy(name="other")
+        assert renamed.structural_hash() != a.structural_hash()
+
+    def test_copy_gets_independent_cache(self, diamond_graph):
+        original = diamond_graph.structural_hash()
+        clone = diamond_graph.copy()
+        assert clone.structural_hash() == original
+        clone.add_node(Opcode.ADD)
+        assert clone.structural_hash() != original
+        assert diamond_graph.structural_hash() == original

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given
 
 from repro.dfg import (
+    WIRE_VERSION,
     DataFlowGraph,
     DFGBuilder,
     Opcode,
@@ -13,7 +14,9 @@ from repro.dfg import (
     dumps,
     from_dot,
     graph_from_dict,
+    graph_from_wire,
     graph_to_dict,
+    graph_to_wire,
     load,
     loads,
     save,
@@ -80,6 +83,48 @@ class TestJsonSerialization:
         }
         with pytest.raises(ValueError):
             graph_from_dict(data)
+
+
+class TestWireFormat:
+    """The compact tuple format that ships graphs to batch workers."""
+
+    def test_wire_round_trip_matches_json_document(self, diamond_graph):
+        rebuilt = graph_from_wire(graph_to_wire(diamond_graph))
+        assert graph_to_dict(rebuilt) == graph_to_dict(diamond_graph)
+
+    @given(dag_seeds)
+    def test_wire_round_trip_random(self, seed):
+        graph = make_random_dag(seed, num_operations=8)
+        rebuilt = graph_from_wire(graph_to_wire(graph))
+        assert rebuilt.name == graph.name
+        assert rebuilt.num_nodes == graph.num_nodes
+        assert set(rebuilt.edges()) == set(graph.edges())
+        for vertex in graph.node_ids():
+            assert rebuilt.node(vertex).opcode == graph.node(vertex).opcode
+            assert rebuilt.node(vertex).forbidden == graph.node(vertex).forbidden
+            assert rebuilt.node(vertex).live_out == graph.node(vertex).live_out
+
+    def test_wire_preserves_attributes_and_flags(self):
+        graph = DataFlowGraph(name="attrs")
+        a = graph.add_node(Opcode.INPUT, name="a")
+        op = graph.add_node(Opcode.ADD, name="sum", live_out=True, weight=3)
+        graph.add_edge(a, op)
+        graph.set_forbidden(op, True)
+        rebuilt = graph_from_wire(graph_to_wire(graph))
+        assert rebuilt.node(op).attributes == {"weight": 3}
+        assert rebuilt.node(op).forbidden
+        assert rebuilt.node(op).live_out
+        assert graph_to_dict(rebuilt) == graph_to_dict(graph)
+
+    def test_wire_round_trip_preserves_structural_hash(self, loads_graph):
+        rebuilt = graph_from_wire(graph_to_wire(loads_graph))
+        assert rebuilt.structural_hash() == loads_graph.structural_hash()
+
+    def test_wire_version_mismatch_rejected(self, diamond_graph):
+        version, name, nodes, edges = graph_to_wire(diamond_graph)
+        assert version == WIRE_VERSION
+        with pytest.raises(ValueError, match="wire version"):
+            graph_from_wire((WIRE_VERSION + 1, name, nodes, edges))
 
 
 class TestValidation:

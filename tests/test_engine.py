@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from tests.conftest import make_random_dag
@@ -20,6 +22,7 @@ from repro.engine import (
     get_algorithm,
     register_algorithm,
     resolve_algorithm_name,
+    resolve_jobs,
     unregister_algorithm,
 )
 from repro.ise import BlockProfile, identify_instruction_set_extension
@@ -299,3 +302,112 @@ class TestPipelineParallel:
             blocks, Constraints(max_inputs=3, max_outputs=2), algorithm="exhaustive"
         )
         assert result.application_speedup >= 1.0
+
+
+# --------------------------------------------------------------------------- #
+# jobs="auto" and chunked dispatch
+# --------------------------------------------------------------------------- #
+class TestJobsAuto:
+    def test_resolve_jobs_auto_is_cpu_count_clamped_to_one(self):
+        assert resolve_jobs("auto") == max(1, os.cpu_count() or 1)
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_resolve_jobs_rejects_garbage(self):
+        with pytest.raises(ValueError, match="auto"):
+            resolve_jobs("many")
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(0)
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-3)
+
+    def test_runner_accepts_auto_and_reports_resolved_count(self):
+        runner = BatchRunner(jobs="auto")
+        assert runner.jobs == max(1, os.cpu_count() or 1)
+        report = runner.run([diamond()])
+        assert report.jobs == runner.jobs
+        assert report.items[0].ok
+        runner.close()
+
+    def test_runner_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            BatchRunner(chunk_size=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            BatchRunner(chunk_size="huge")
+
+
+class TestChunkedDispatch:
+    """Bit-identity of the chunked pool path against the sequential path."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 16, "auto"])
+    def test_bit_identity_across_chunk_sizes(
+        self, batch_suite, default_constraints, chunk_size
+    ):
+        """Chunk capacities of one block, a bin boundary, the whole suite
+        and the auto heuristic all reproduce the sequential run exactly."""
+        sequential = BatchRunner(constraints=default_constraints, jobs=1).run(
+            batch_suite
+        )
+        with BatchRunner(
+            constraints=default_constraints, jobs=2, chunk_size=chunk_size
+        ) as runner:
+            parallel = runner.run(batch_suite)
+        for seq_item, par_item in zip(sequential.items, parallel.items):
+            assert seq_item.graph_name == par_item.graph_name
+            assert par_item.ok, f"{par_item.graph_name}: {par_item.error}"
+            assert _cut_keys(seq_item.result) == _cut_keys(par_item.result)
+
+    def test_forced_pool_at_one_job_matches_sequential(
+        self, batch_suite, default_constraints
+    ):
+        """force_pool=True routes jobs=1 through the chunked pool — the
+        dispatch-overhead benchmark configuration — without changing a bit."""
+        sequential = BatchRunner(constraints=default_constraints, jobs=1).run(
+            batch_suite
+        )
+        with BatchRunner(
+            constraints=default_constraints, jobs=1, force_pool=True
+        ) as runner:
+            forced = runner.run(batch_suite)
+        assert forced.jobs == 1
+        for seq_item, fp_item in zip(sequential.items, forced.items):
+            assert fp_item.ok, f"{fp_item.graph_name}: {fp_item.error}"
+            assert _cut_keys(seq_item.result) == _cut_keys(fp_item.result)
+
+    def test_pool_persists_across_runs_and_results_stay_identical(
+        self, batch_suite, default_constraints
+    ):
+        """The second run reuses the warmed pool (worker-resident graphs and
+        contexts) and still reproduces the first run bit for bit."""
+        with BatchRunner(
+            constraints=default_constraints, jobs=2, chunk_size=2
+        ) as runner:
+            runner.warm_pool()
+            assert runner._pool is not None
+            pool = runner._pool
+            first = runner.run(batch_suite)
+            assert runner._pool is pool  # returned, not rebuilt
+            second = runner.run(batch_suite)
+        assert runner._pool is None  # close() released it
+        for a, b in zip(first.items, second.items):
+            assert a.ok and b.ok
+            assert _cut_keys(a.result) == _cut_keys(b.result)
+
+    def test_worker_error_inside_chunk_does_not_poison_siblings(
+        self, default_constraints
+    ):
+        """A block that raises mid-chunk is reported on exactly that item;
+        the other blocks of the same chunk keep their results."""
+        big = make_random_dag(3, num_operations=30, memory_probability=0.0)
+        blocks = [diamond(), big, linear_chain(4), build_kernel("bitcount")]
+        with BatchRunner(
+            algorithm="brute-force",
+            constraints=default_constraints,
+            jobs=2,
+            chunk_size=4,
+        ) as runner:
+            report = runner.run(blocks)
+        assert not report.items[1].ok
+        assert "candidate" in report.items[1].error
+        for index in (0, 2, 3):
+            assert report.items[index].ok, report.items[index].error

@@ -421,3 +421,180 @@ def test_iter_enumerate_deduplicated_streams_whole_classes():
     assert [item.result.node_sets() for item in report.items] == [
         by_index[i].result.node_sets() for i in range(3)
     ]
+
+
+# --------------------------------------------------------------------------- #
+# Chunked dispatch: deadlines, crash re-split, streaming semantics
+# --------------------------------------------------------------------------- #
+#: Over the per-block BUDGET, far under a multi-block chunk's combined budget.
+MID_SLEEP = 1.2 * BUDGET
+
+
+def _mid_sleepy_run(request):
+    """Sleeps just past the per-block budget on ``*over*`` blocks."""
+    time.sleep(MID_SLEEP if "over" in request.graph.name else FAST_SLEEP)
+    return get_algorithm("exhaustive").enumerate(request)
+
+
+def _uniform_chain_blocks(count: int, slow_index=None, slow_prefix="slow"):
+    """*count* identically sized blocks (one size bin), distinct names."""
+    blocks = []
+    for position in range(count):
+        graph = linear_chain(4)
+        graph.name = (
+            f"{slow_prefix}_block"
+            if position == slow_index
+            else f"fast_block_{position}"
+        )
+        blocks.append(graph)
+    return blocks
+
+
+@needs_fork
+class TestChunkDeadlines:
+    def test_expired_chunk_is_resplit_and_only_the_slow_block_times_out(
+        self, registered
+    ):
+        """A chunk whose combined ``len(chunk) * timeout`` budget expires is
+        re-split into single-block tasks: the slow block is isolated and
+        abandoned on its own deadline, its chunk-mates complete untouched."""
+        registered("test-chunk-sleeper", _sleepy_run)
+        blocks = _uniform_chain_blocks(6, slow_index=2)
+        with BatchRunner(
+            algorithm="test-chunk-sleeper",
+            constraints=Constraints(max_inputs=3, max_outputs=2),
+            jobs=2,
+            timeout=BUDGET,
+            chunk_size=3,
+            mp_context=_fork_context(),
+        ) as runner:
+            report = runner.run(blocks)
+        assert len(report.items) == 6
+        slow = report.items[2]
+        assert slow.timed_out and slow.result is None
+        for item in report.items:
+            if item.index == 2:
+                continue
+            assert item.ok, f"{item.graph_name} failed: {item.error}"
+            assert not item.timed_out, (
+                f"{item.graph_name} falsely timed out (chunk-mate's runtime "
+                "or queue wait charged against its deadline)"
+            )
+        assert report.failures() == [slow]
+
+    def test_block_completing_over_budget_inside_chunk_is_flagged_result_kept(
+        self, registered
+    ):
+        """Per-block ``task_seconds`` stamps survive chunking: a block that
+        finishes past its own budget — while the chunk stays within its
+        combined budget — keeps its result and is flagged, and its
+        chunk-mates are not."""
+        registered("test-chunk-mid-sleeper", _mid_sleepy_run)
+        blocks = _uniform_chain_blocks(4, slow_index=1, slow_prefix="over")
+        with BatchRunner(
+            algorithm="test-chunk-mid-sleeper",
+            constraints=Constraints(max_inputs=3, max_outputs=2),
+            jobs=2,
+            timeout=BUDGET,
+            chunk_size=4,
+            mp_context=_fork_context(),
+        ) as runner:
+            report = runner.run(blocks)
+        over = report.items[1]
+        assert over.ok and over.timed_out  # completed over budget, kept
+        for item in report.items:
+            if item.index == 1:
+                continue
+            assert item.ok and not item.timed_out, (
+                f"{item.graph_name}: ok={item.ok} timed_out={item.timed_out}"
+            )
+
+
+@needs_fork
+class TestChunkCrashRecovery:
+    def test_crash_mid_chunk_is_resplit_and_suite_completes(
+        self, registered, tmp_path
+    ):
+        """A worker crash inside a multi-block chunk re-splits every casualty
+        into single-block retries (penalty-free); the poison block succeeds
+        on its isolated retry and the whole suite completes."""
+        sentinel = tmp_path / "crashed-once"
+        registered("test-chunk-crasher", _make_crasher(sentinel, always=False))
+        blocks = _uniform_chain_blocks(8, slow_index=3, slow_prefix="poison")
+        with BatchRunner(
+            algorithm="test-chunk-crasher",
+            constraints=Constraints(max_inputs=3, max_outputs=2),
+            jobs=2,
+            chunk_size=4,
+            mp_context=_fork_context(),
+        ) as runner:
+            report = runner.run(blocks)
+        assert sentinel.exists()  # the crash really happened
+        assert len(report.items) == 8
+        assert sorted(item.index for item in report.items) == list(range(8))
+        for item in report.items:
+            assert item.ok, f"{item.graph_name} failed: {item.error}"
+
+    def test_always_crashing_block_in_chunk_fails_alone(
+        self, registered, tmp_path
+    ):
+        """After the ambiguous mid-chunk crash, isolation makes the repeat
+        crashes attributable: only the poison block is failed, every
+        chunk-mate finishes with a result."""
+        sentinel = tmp_path / "crashed-always"
+        registered("test-chunk-crasher-always", _make_crasher(sentinel, always=True))
+        blocks = _uniform_chain_blocks(8, slow_index=3, slow_prefix="poison")
+        with BatchRunner(
+            algorithm="test-chunk-crasher-always",
+            constraints=Constraints(max_inputs=3, max_outputs=2),
+            jobs=2,
+            chunk_size=4,
+            mp_context=_fork_context(),
+        ) as runner:
+            report = runner.run(blocks)
+        assert len(report.items) == 8
+        poison = report.items[3]
+        assert not poison.ok
+        assert "BrokenProcessPool" in poison.error
+        for item in report.items:
+            if item.index == 3:
+                continue
+            assert item.ok, f"{item.graph_name} failed: {item.error}"
+
+
+class TestChunkedStreaming:
+    def test_iter_run_with_chunks_yields_every_block_exactly_once(self):
+        graphs = _small_suite(8)
+        constraints = Constraints(max_inputs=3, max_outputs=2)
+        reference = BatchRunner(constraints=constraints, jobs=1).run(graphs)
+        with BatchRunner(constraints=constraints, jobs=2, chunk_size=3) as runner:
+            streamed = list(runner.iter_run(graphs))
+        assert sorted(item.index for item in streamed) == list(range(len(graphs)))
+        streamed.sort(key=lambda item: item.index)
+        for ref_item, item in zip(reference.items, streamed):
+            assert item.ok, f"{item.graph_name}: {item.error}"
+            assert _cut_keys(ref_item.result) == _cut_keys(item.result)
+
+    def test_chunked_store_run_writes_back_and_serves_warm_hits(self, tmp_path):
+        """The per-chunk batched write-back persists every fresh result; a
+        second run over the same store is served entirely from cache and
+        stays bit-identical."""
+        graphs = _small_suite(6)
+        constraints = Constraints(max_inputs=3, max_outputs=2)
+        reference = BatchRunner(constraints=constraints, jobs=1).run(graphs)
+        store = ResultStore(tmp_path / "cache")
+        with BatchRunner(
+            constraints=constraints, jobs=2, chunk_size=3, store=store
+        ) as runner:
+            cold = runner.run(graphs)
+        assert store.stats.writes == len(graphs)
+        with BatchRunner(
+            constraints=constraints, jobs=2, chunk_size=3, store=store
+        ) as runner:
+            warm = runner.run(graphs)
+        assert all(item.cached for item in warm.items)
+        for ref_item, cold_item, warm_item in zip(
+            reference.items, cold.items, warm.items
+        ):
+            assert _cut_keys(ref_item.result) == _cut_keys(cold_item.result)
+            assert _cut_keys(ref_item.result) == _cut_keys(warm_item.result)
