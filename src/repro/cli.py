@@ -19,6 +19,9 @@ Sub-commands
     pipeline: ``repro frontend path.py --func f --profile --ise``.
 ``cache``
     Inspect, clear or warm the persistent enumeration-result cache.
+``metrics``
+    Pretty-print the run report of a ``--metrics-json`` document (optionally
+    with its matching ``--trace`` file for span accounting).
 
 Targets: wherever a kernel name or DFG JSON file is accepted, a Python
 source target ``file.py::function`` is too (the function's largest basic
@@ -32,13 +35,23 @@ across runs, and ``--no-cache`` to force recomputation.
 Progress: the engine streams per-block results as they complete;
 ``--progress`` (on ``enumerate``, ``compare``, ``ise`` and ``cache warm``)
 prints one status line per finished block to stderr.
+
+Observability: ``--trace FILE`` records a span timeline (``.jsonl`` for the
+raw span log, anything else for a Perfetto-loadable Chrome trace) and
+``--metrics-json FILE`` dumps the metrics registry (``-`` writes the JSON to
+stdout and diverts the command's normal output to stderr, so piped stdout
+stays machine-readable).  Both default to off, in which case the
+instrumentation throughout the tree is no-op stubs.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import os
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -55,6 +68,10 @@ from .engine.registry import (
 )
 from .ise.pipeline import BlockProfile, identify_instruction_set_extension
 from .memo.store import ResultStore
+from .obs import runtime as obs_runtime
+from .obs.export import read_trace_file, write_trace_file
+from .obs.metrics import METRICS_SCHEMA
+from .obs.report import format_run_report, load_metrics
 from .ise.selection import SelectionConfig
 from .workloads.kernels import KERNEL_FACTORIES, build_kernel, kernel_names
 from .workloads.mibench_like import SuiteConfig, build_suite, size_cluster
@@ -105,6 +122,26 @@ def _add_engine_arguments(
         "--progress",
         action="store_true",
         help="print per-block status to stderr as each block finishes",
+    )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The uniform ``--trace`` / ``--metrics-json`` observability flags."""
+    parser.add_argument(
+        "--trace",
+        dest="trace_out",
+        metavar="FILE",
+        default=None,
+        help="record a span timeline: .jsonl writes the raw span log, any "
+        "other extension a Chrome trace-event JSON (load in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        dest="metrics_json",
+        metavar="FILE",
+        default=None,
+        help="write the run's metrics registry as JSON ('-' prints it to "
+        "stdout and diverts normal output to stderr)",
     )
 
 
@@ -267,7 +304,10 @@ def _load_target(target: str, from_source: bool = False):
 # Sub-commands
 # --------------------------------------------------------------------------- #
 def _cmd_enumerate(args: argparse.Namespace) -> int:
-    graph = _load_target(args.target, from_source=getattr(args, "from_source", False))
+    with obs_runtime.tracer().span("cli.load_targets", cat="cli", targets=1):
+        graph = _load_target(
+            args.target, from_source=getattr(args, "from_source", False)
+        )
     constraints = _constraints_from(args)
     store = _store_from(args)
     runner = BatchRunner(
@@ -300,6 +340,8 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         print()
         for cut in sorted(result.cuts, key=lambda c: (-c.num_nodes, sorted(c.nodes))):
             print("  " + cut.describe())
+    if store is not None:
+        store.persist_stats()
     return 0
 
 
@@ -337,6 +379,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(figure5_report(report))
         print()
     print(format_table(cluster_summary(report)))
+    if store is not None:
+        store.persist_stats()
     return 0
 
 
@@ -398,9 +442,13 @@ def _write_instruction_dots(result, graphs: dict, dot_dir: str) -> int:
 
 def _cmd_ise(args: argparse.Namespace) -> int:
     blocks: List[BlockProfile] = []
-    for target in args.targets:
-        blocks.extend(_ise_blocks_from_target(target, args))
+    with obs_runtime.tracer().span(
+        "cli.load_targets", cat="cli", targets=len(args.targets)
+    ):
+        for target in args.targets:
+            blocks.extend(_ise_blocks_from_target(target, args))
     constraints = _constraints_from(args)
+    store = _store_from(args)
     result = identify_instruction_set_extension(
         blocks,
         constraints,
@@ -409,9 +457,11 @@ def _cmd_ise(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         jobs=args.jobs,
         timeout=args.timeout,
-        store=_store_from(args),
+        store=store,
         progress=_progress_from(args),
     )
+    if store is not None:
+        store.persist_stats()
     print(result.summary())
     if args.dot_dir:
         graphs = {}
@@ -561,6 +611,7 @@ def _cmd_frontend(args: argparse.Namespace) -> int:
     if args.ise:
         if not blocks:
             raise SystemExit("nothing to run ISE on: no blocks with operations")
+        store = _store_from(args)
         result = identify_instruction_set_extension(
             blocks,
             _constraints_from(args),
@@ -569,9 +620,11 @@ def _cmd_frontend(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             jobs=args.jobs,
             timeout=args.timeout,
-            store=_store_from(args),
+            store=store,
             progress=_progress_from(args),
         )
+        if store is not None:
+            store.persist_stats()
         print()
         print(result.summary())
         if args.dot_dir:
@@ -609,6 +662,35 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     print(f"cache directory : {info['root']}")
     print(f"entries         : {info['entries']}")
     print(f"total size      : {info['total_bytes']} bytes")
+    lifetime = store.lifetime_stats()
+    if lifetime.lookups or lifetime.writes:
+        # Cumulative hit/miss/put/evict counters persisted by past runs
+        # (every command flushes its deltas on exit), so operators see the
+        # cache's actual effectiveness, not just its disk footprint.
+        print(f"lifetime        : {lifetime.summary()}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.metrics_file == "-":
+        try:
+            document = json.load(sys.stdin)
+        except ValueError as exc:
+            raise SystemExit(f"stdin: invalid JSON ({exc})")
+        if not isinstance(document, dict) or document.get("schema") != METRICS_SCHEMA:
+            raise SystemExit(f"stdin: not a {METRICS_SCHEMA} document")
+    else:
+        try:
+            document = load_metrics(args.metrics_file)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc))
+    trace = None
+    if args.trace:
+        try:
+            trace = read_trace_file(args.trace)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc))
+    print(format_run_report(document, trace=trace))
     return 0
 
 
@@ -646,6 +728,7 @@ def _cmd_cache_warm(args: argparse.Namespace) -> int:
         f"{already} already cached, {failed} failed"
     )
     print(store.stats.summary())
+    store.persist_stats()
     return 0 if failed == 0 else 1
 
 
@@ -673,6 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(p_enum)
     _add_constraint_arguments(p_enum)
     _add_cache_arguments(p_enum)
+    _add_obs_arguments(p_enum)
     p_enum.set_defaults(func=_cmd_enumerate)
 
     p_cmp = subparsers.add_parser("compare", help="compare algorithms on a suite (Figure 5)")
@@ -685,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(p_cmp, multiple=True)
     _add_constraint_arguments(p_cmp)
     _add_cache_arguments(p_cmp)
+    _add_obs_arguments(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_ise = subparsers.add_parser("ise", help="identify an instruction set extension")
@@ -711,6 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(p_ise)
     _add_constraint_arguments(p_ise)
     _add_cache_arguments(p_ise)
+    _add_obs_arguments(p_ise)
     p_ise.set_defaults(func=_cmd_ise)
 
     p_gen = subparsers.add_parser("generate", help="generate and save a workload suite")
@@ -774,6 +860,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(p_front)
     _add_constraint_arguments(p_front)
     _add_cache_arguments(p_front)
+    _add_obs_arguments(p_front)
     p_front.set_defaults(func=_cmd_frontend)
 
     p_cache = subparsers.add_parser(
@@ -800,7 +887,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_warm.add_argument("--cache-dir", default=None)
     _add_engine_arguments(p_warm)
     _add_constraint_arguments(p_warm)
+    _add_obs_arguments(p_warm)
     p_warm.set_defaults(func=_cmd_cache_warm)
+
+    p_metrics = subparsers.add_parser(
+        "metrics",
+        help="pretty-print the run report of a --metrics-json document",
+    )
+    p_metrics.add_argument(
+        "metrics_file",
+        help="a --metrics-json output file, or '-' to read it from stdin",
+    )
+    p_metrics.add_argument(
+        "--trace",
+        default=None,
+        help="matching --trace file (.jsonl or Chrome JSON) for span "
+        "accounting of the run's wall time",
+    )
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     return parser
 
@@ -814,10 +918,8 @@ def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``repro-enum`` console script."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected sub-command (optionally under cProfile)."""
     if getattr(args, "profile_enum", False):
         import cProfile
         import pstats
@@ -832,6 +934,51 @@ def main(argv: Optional[List[str]] = None) -> int:
             stats = pstats.Stats(profiler, stream=sys.stderr)
             stats.sort_stats("cumulative").print_stats(20)
     return args.func(args)
+
+
+def _run_observed(args: argparse.Namespace, argv: Optional[List[str]]) -> int:
+    """Run the sub-command with the obs recorders active, then write artifacts.
+
+    The artifacts are written in a ``finally`` block so a command that raises
+    (including ``SystemExit``) still leaves its telemetry behind for
+    post-mortem inspection.
+    """
+    registry, recorder = obs_runtime.activate()
+    start = time.perf_counter()
+    try:
+        with recorder.span(f"cli.{args.command}", cat="cli"):
+            if args.metrics_json == "-":
+                # Keep piped stdout machine-readable: the JSON document goes
+                # to the real stdout below, everything else to stderr.
+                with contextlib.redirect_stdout(sys.stderr):
+                    return _dispatch(args)
+            return _dispatch(args)
+    finally:
+        registry.set_gauge("run.wall_seconds", time.perf_counter() - start)
+        meta = {
+            "command": args.command,
+            "argv": list(argv) if argv is not None else sys.argv[1:],
+        }
+        if args.trace_out:
+            kind = write_trace_file(args.trace_out, recorder.records, meta)
+            print(f"trace ({kind}): {args.trace_out}", file=sys.stderr)
+        if args.metrics_json:
+            payload = json.dumps(registry.to_dict(meta=meta), indent=2) + "\n"
+            if args.metrics_json == "-":
+                sys.stdout.write(payload)
+            else:
+                Path(args.metrics_json).write_text(payload, encoding="utf-8")
+                print(f"metrics: {args.metrics_json}", file=sys.stderr)
+        obs_runtime.deactivate()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-enum`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_json", None):
+        return _run_observed(args, argv)
+    return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,6 +28,9 @@ class EnumerationStats:
     pick_input_calls: int = 0
     pruned: Dict[str, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    #: Wall time spent inside the Lengauer–Tarjan dominator kernel itself
+    #: (fresh runs only — region-cache hits cost no kernel time).
+    lt_seconds: float = 0.0
     #: Hit/miss counters of the ReachabilityIndex forbidden-between memo
     #: (bounded; see repro.dfg.reachability.FORBIDDEN_BETWEEN_CACHE_LIMIT).
     forbidden_cache_hits: int = 0
@@ -46,6 +49,7 @@ class EnumerationStats:
         self.pick_output_calls += other.pick_output_calls
         self.pick_input_calls += other.pick_input_calls
         self.elapsed_seconds += other.elapsed_seconds
+        self.lt_seconds += other.lt_seconds
         self.forbidden_cache_hits += other.forbidden_cache_hits
         self.forbidden_cache_misses += other.forbidden_cache_misses
         for rule, amount in other.pruned.items():
@@ -62,6 +66,8 @@ class EnumerationStats:
             f"input expansions    : {self.pick_input_calls}",
             f"elapsed             : {self.elapsed_seconds:.4f} s",
         ]
+        if self.lt_seconds:
+            lines.append(f"LT kernel time      : {self.lt_seconds:.4f} s")
         if self.forbidden_cache_hits or self.forbidden_cache_misses:
             lines.append(
                 "forbidden-path cache: "

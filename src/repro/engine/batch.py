@@ -119,6 +119,7 @@ from ..dfg.graph import DataFlowGraph
 from ..dfg.serialization import graph_from_wire, graph_to_wire
 from ..memo.canon import CanonicalForm, canonical_form
 from ..memo.store import ResultStore, StoredResult, request_fingerprint
+from ..obs import runtime as obs
 from ..workloads.suite import WorkloadSuite
 from .registry import DEFAULT_ALGORITHM, EnumerationRequest, get_algorithm
 
@@ -191,10 +192,13 @@ class ContextCache:
     context while a renamed or edited graph does not.
     """
 
-    def __init__(self, max_entries: int = 64) -> None:
+    def __init__(self, max_entries: int = 64, side: str = "parent") -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
+        #: Which end of the pool this cache serves ("parent" or "worker") —
+        #: the ``side`` label of its observability counters.
+        self.side = side
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[Tuple[str, Constraints], EnumerationContext]" = (
@@ -221,9 +225,11 @@ class ContextCache:
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
+            obs.metrics().inc("context_cache.hits_total", side=self.side)
             self._entries.move_to_end(key)
             return cached
         self.misses += 1
+        obs.metrics().inc("context_cache.misses_total", side=self.side)
         context = EnumerationContext.build(graph, constraints)
         self._entries[key] = context
         while len(self._entries) > self.max_entries:
@@ -392,14 +398,18 @@ def _enumerate_chunk(
         Optional[Constraints],
         Optional[PruningConfig],
         Tuple[Tuple[str, Optional[tuple]], ...],
+        Optional[Tuple[str, int]],
     ],
-) -> List[Dict[str, object]]:
+) -> Union[List[Dict[str, object]], Dict[str, object]]:
     """Enumerate one chunk of blocks inside a worker process.
 
-    ``payload`` is ``(algorithm_name, constraints, pruning, blocks)`` where
-    each block is ``(fingerprint, wire_or_None)`` — the wire form is attached
-    only when the parent believes this worker may not have seen the graph
-    yet; otherwise the worker resolves the fingerprint in its registry.
+    ``payload`` is ``(algorithm_name, constraints, pruning, blocks,
+    obs_config)`` where each block is ``(fingerprint, wire_or_None)`` — the
+    wire form is attached only when the parent believes this worker may not
+    have seen the graph yet; otherwise the worker resolves the fingerprint
+    in its registry.  ``obs_config`` is the parent's observability
+    activation (see :func:`repro.obs.runtime.ensure_worker`); payloads from
+    older callers may omit it.
 
     Returns one compact, picklable summary per block, aligned with the
     input: cut bit masks, statistics, algorithm label and the wall-clock
@@ -410,57 +420,70 @@ def _enumerate_chunk(
     ``{"missing": True}`` and the parent resubmits it with the body; a block
     whose enumeration raises yields an ``{"error": ...}`` record without
     poisoning its siblings.
+
+    With observability on, the per-block list is wrapped as
+    ``{"results": [...], "metrics": <wire>, "spans": <wire>}`` — the
+    worker's drained metric/span deltas ride back inside the chunk result
+    and are folded in by the parent's :meth:`BatchRunner._collect_chunk`.
     """
     global _worker_cache
-    algorithm_name, constraints, pruning, blocks = payload
+    algorithm_name, constraints, pruning, blocks = payload[:4]
+    obs.ensure_worker(payload[4] if len(payload) > 4 else None)
     algorithm = get_algorithm(algorithm_name)
     results: List[Dict[str, object]] = []
-    for fingerprint, wire in blocks:
-        task_start = time.perf_counter()
-        graph = _worker_graphs.get(fingerprint)
-        if graph is None:
-            if wire is None:
-                results.append({"missing": True})
+    tracer = obs.tracer()
+    with tracer.span("worker.chunk", cat="pool", blocks=len(blocks)):
+        for fingerprint, wire in blocks:
+            task_start = time.perf_counter()
+            graph = _worker_graphs.get(fingerprint)
+            if graph is None:
+                if wire is None:
+                    results.append({"missing": True})
+                    continue
+                graph = graph_from_wire(wire)
+                _worker_graphs[fingerprint] = graph
+                while len(_worker_graphs) > WORKER_GRAPH_REGISTRY_LIMIT:
+                    _worker_graphs.popitem(last=False)
+            else:
+                _worker_graphs.move_to_end(fingerprint)
+            try:
+                with tracer.span("worker.block", cat="pool", graph=graph.name) as span:
+                    context = None
+                    if algorithm.capabilities.supports_context:
+                        if _worker_cache is None:
+                            _worker_cache = ContextCache(side="worker")
+                        context = _worker_cache.get(
+                            graph, constraints, fingerprint=fingerprint
+                        )
+                    result = algorithm.enumerate(
+                        EnumerationRequest(
+                            graph=graph,
+                            constraints=constraints,
+                            pruning=pruning,
+                            context=context,
+                        )
+                    )
+                    span.note(cuts=len(result.cuts))
+            except Exception as exc:  # same policy as the sequential path
+                results.append(
+                    {
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "task_seconds": time.perf_counter() - task_start,
+                    }
+                )
                 continue
-            graph = graph_from_wire(wire)
-            _worker_graphs[fingerprint] = graph
-            while len(_worker_graphs) > WORKER_GRAPH_REGISTRY_LIMIT:
-                _worker_graphs.popitem(last=False)
-        else:
-            _worker_graphs.move_to_end(fingerprint)
-        try:
-            context = None
-            if algorithm.capabilities.supports_context:
-                if _worker_cache is None:
-                    _worker_cache = ContextCache()
-                context = _worker_cache.get(
-                    graph, constraints, fingerprint=fingerprint
-                )
-            result = algorithm.enumerate(
-                EnumerationRequest(
-                    graph=graph,
-                    constraints=constraints,
-                    pruning=pruning,
-                    context=context,
-                )
-            )
-        except Exception as exc:  # same policy as the sequential path
             results.append(
                 {
-                    "error": f"{type(exc).__name__}: {exc}",
+                    "graph_name": result.graph_name,
+                    "algorithm": result.algorithm,
+                    "masks": [cut.node_mask() for cut in result.cuts],
+                    "stats": result.stats,
                     "task_seconds": time.perf_counter() - task_start,
                 }
             )
-            continue
-        results.append(
-            {
-                "graph_name": result.graph_name,
-                "algorithm": result.algorithm,
-                "masks": [cut.node_mask() for cut in result.cuts],
-                "stats": result.stats,
-                "task_seconds": time.perf_counter() - task_start,
-            }
-        )
+    drained = obs.drain_worker()
+    if drained:
+        return {"results": results, **drained}
     return results
 
 
@@ -491,20 +514,28 @@ class _WorkerPool:
         pruning: Optional[PruningConfig],
         chunk: List[BatchItem],
     ) -> Future:
+        metrics = obs.metrics()
         blocks = []
         for item in chunk:
             fingerprint = item.graph.structural_hash()
-            ship = (
-                fingerprint in self.must_ship
-                or self.shipped.get(fingerprint, 0) < self.jobs
-            )
+            shipped_before = self.shipped.get(fingerprint, 0)
+            ship = fingerprint in self.must_ship or shipped_before < self.jobs
             if ship:
-                self.shipped[fingerprint] = self.shipped.get(fingerprint, 0) + 1
+                self.shipped[fingerprint] = shipped_before + 1
+                metrics.inc("pool.graphs_shipped_total")
+                if shipped_before >= self.jobs:
+                    # Every worker could have seen this graph and one still
+                    # reported it missing — an eviction- or routing-driven
+                    # re-ship, worth watching separately.
+                    metrics.inc("pool.graph_reships_total")
             blocks.append(
                 (fingerprint, graph_to_wire(item.graph) if ship else None)
             )
+        metrics.inc("pool.chunks_dispatched_total")
+        metrics.inc("pool.blocks_dispatched_total", len(blocks))
         return self.executor.submit(
-            _enumerate_chunk, (algorithm, constraints, pruning, tuple(blocks))
+            _enumerate_chunk,
+            (algorithm, constraints, pruning, tuple(blocks), obs.worker_config()),
         )
 
     def discard(self) -> None:
@@ -659,13 +690,14 @@ class BatchRunner:
             return
         pool = self._checkout_pool()
         try:
-            # Overlapping sleeps force the executor to actually spawn all
-            # `jobs` workers instead of funnelling the pings through one.
-            futures = [
-                pool.executor.submit(_worker_ping, 0.05) for _ in range(pool.jobs)
-            ]
-            for future in futures:
-                future.result()
+            with obs.tracer().span("pool.warm", cat="pool", jobs=pool.jobs):
+                # Overlapping sleeps force the executor to actually spawn all
+                # `jobs` workers instead of funnelling the pings through one.
+                futures = [
+                    pool.executor.submit(_worker_ping, 0.05) for _ in range(pool.jobs)
+                ]
+                for future in futures:
+                    future.result()
         except BrokenExecutor:
             pool.discard()
         finally:
@@ -747,11 +779,58 @@ class BatchRunner:
         items = normalize_blocks(blocks)
         total = len(items)
         completed = 0
-        for item in self._iter_resolved(algorithm, pruning, items, canonical_forms):
-            completed += 1
-            if progress is not None:
-                progress(item, completed, total)
-            yield item
+        # Snapshot the observability switch once: activation never changes
+        # mid-run, and the disabled path must not pay per-item bookkeeping.
+        observing = obs.enabled()
+        with obs.tracer().span(
+            "batch.run",
+            cat="batch",
+            algorithm=self.algorithm,
+            jobs=self.jobs,
+            blocks=total,
+        ):
+            for item in self._iter_resolved(algorithm, pruning, items, canonical_forms):
+                completed += 1
+                if observing:
+                    self._record_item_metrics(item)
+                if progress is not None:
+                    progress(item, completed, total)
+                yield item
+
+    def _record_item_metrics(self, item: BatchItem) -> None:
+        """Fold one finished block into the active metrics registry.
+
+        Runs in the parent only, on the single funnel every item passes
+        through (sequential, pool and store-hit paths alike), so counters
+        are absorbed exactly once per block regardless of chunk re-splits,
+        crash retries or caching.  Cached items contribute their status
+        only: their stats describe the original (already-counted) run.
+        """
+        metrics = obs.metrics()
+        if item.cached:
+            status = "cached"
+        elif item.result is not None:
+            status = "fresh"
+        elif item.timed_out:
+            status = "timeout"
+        else:
+            status = "error"
+        metrics.inc("enum.blocks_total", status=status, algorithm=self.algorithm)
+        if status != "fresh":
+            return
+        stats = item.result.stats
+        metrics.inc("enum.cuts_found_total", stats.cuts_found)
+        metrics.inc("enum.duplicates_total", stats.duplicates)
+        metrics.inc("enum.candidates_checked_total", stats.candidates_checked)
+        metrics.inc("enum.lt_calls_total", stats.lt_calls)
+        metrics.inc("enum.lt_seconds_total", stats.lt_seconds)
+        metrics.inc("enum.pick_output_calls_total", stats.pick_output_calls)
+        metrics.inc("enum.pick_input_calls_total", stats.pick_input_calls)
+        metrics.inc("enum.forbidden_cache_hits_total", stats.forbidden_cache_hits)
+        metrics.inc("enum.forbidden_cache_misses_total", stats.forbidden_cache_misses)
+        for rule, amount in stats.pruned.items():
+            metrics.inc("enum.pruned_total", amount, rule=rule)
+        metrics.observe("enum.block_seconds", stats.elapsed_seconds)
 
     # ------------------------------------------------------------------ #
     # Store-aware streaming
@@ -928,7 +1007,10 @@ class BatchRunner:
                 )
             )
         if entries:
-            self.store.put_many(entries)
+            with obs.tracer().span(
+                "store.write_back", cat="store", entries=len(entries)
+            ):
+                self.store.put_many(entries)
 
     # ------------------------------------------------------------------ #
     # Execution paths
@@ -1026,17 +1108,22 @@ class BatchRunner:
             item.context = self.cache.get(item.graph, self.constraints)
             context = item.context if algorithm.capabilities.supports_context else None
             start = time.perf_counter()
-            try:
-                item.result = algorithm.enumerate(
-                    EnumerationRequest(
-                        graph=item.graph,
-                        constraints=self.constraints,
-                        pruning=pruning,
-                        context=context,
+            with obs.tracer().span(
+                "enum.block", cat="enum", graph=item.graph_name
+            ) as span:
+                try:
+                    item.result = algorithm.enumerate(
+                        EnumerationRequest(
+                            graph=item.graph,
+                            constraints=self.constraints,
+                            pruning=pruning,
+                            context=context,
+                        )
                     )
-                )
-            except Exception as exc:  # same policy as the parallel path
-                item.error = f"{type(exc).__name__}: {exc}"
+                    span.note(cuts=len(item.result.cuts))
+                except Exception as exc:  # same policy as the parallel path
+                    item.error = f"{type(exc).__name__}: {exc}"
+                    span.note(error=item.error)
             item.elapsed_seconds = time.perf_counter() - start
             if self.timeout is not None and item.elapsed_seconds > self.timeout:
                 # The run cannot be interrupted in-process; keep the result,
@@ -1180,6 +1267,10 @@ class BatchRunner:
                         in_flight.clear()
                         started.clear()
                     pool.discard()
+                    obs.metrics().inc("pool.crash_recoveries_total")
+                    obs.tracer().instant(
+                        "pool.crashed", cat="pool", casualties=len(crashed)
+                    )
                     failed, isolate = self._triage_crash(
                         crashed, retry, crash_charges, crash_encounters
                     )
@@ -1221,15 +1312,23 @@ class BatchRunner:
                     chunk = in_flight.pop(future)
                     stamp = started.pop(future)
                     quarantine = max(quarantine - 1, 0)
+                    obs.metrics().inc("pool.deadline_expiries_total")
                     if len(chunk) == 1:
                         item = chunk[0]
                         item.timed_out = True
                         item.elapsed_seconds = now - stamp
+                        obs.tracer().instant(
+                            "pool.block_abandoned", cat="pool",
+                            graph=item.graph_name,
+                        )
                         yield [item]
                     else:
                         # The chunk blew its combined budget but the slow
                         # block is unknown: re-split into single-block tasks
                         # (penalty-free) so each gets its own deadline.
+                        obs.metrics().inc(
+                            "pool.chunk_resplits_total", reason="deadline"
+                        )
                         for item in chunk:
                             retry.append([item])
                 # A running task cannot be cancelled cooperatively: kill the
@@ -1285,6 +1384,9 @@ class BatchRunner:
         singles_only = all(len(chunk) == 1 for chunk, _ in crashed)
         suspects = sum(1 for _, was_running in crashed if was_running)
         attributable = singles_only and (len(crashed) == 1 or suspects == 1)
+        for chunk, _ in crashed:
+            if len(chunk) > 1:
+                obs.metrics().inc("pool.chunk_resplits_total", reason="crash")
         failed: List[BatchItem] = []
         requeued: List[List[BatchItem]] = []
         for chunk, was_running in crashed:
@@ -1335,6 +1437,11 @@ class BatchRunner:
             for item in chunk:
                 item.error = message
             return list(chunk), []
+        if isinstance(payloads, dict):
+            # Observability-enabled worker: the per-block list rides inside a
+            # wrapper dict next to the worker's drained metric/span deltas.
+            obs.absorb_worker_payload(payloads)
+            payloads = payloads["results"]
         finished: List[BatchItem] = []
         requeue: List[List[BatchItem]] = []
         for item, payload in zip(chunk, payloads):
@@ -1343,6 +1450,7 @@ class BatchRunner:
                 # unlucky routing): pin the body onto future shipments and
                 # resubmit the block alone.
                 pool.must_ship.add(item.graph.structural_hash())
+                obs.metrics().inc("pool.graph_missing_total")
                 requeue.append([item])
                 continue
             error = payload.get("error")

@@ -28,6 +28,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..dfg.graph import DataFlowGraph
 from ..ise.pipeline import BlockProfile
+from ..obs import runtime as obs
 from .cfg import ControlFlowGraph
 from .dfg_from_bytecode import FunctionDFGs, function_to_dfgs
 
@@ -176,9 +177,19 @@ def profile_function(
     name: Optional[str] = None,
 ) -> ProfiledFunction:
     """Translate *fn* to block DFGs and profile it on the given *calls*."""
-    dfgs = function_to_dfgs(fn, name=name)
-    line_counts = collect_line_counts(fn, calls)
-    block_counts = attribute_to_blocks(dfgs.cfg, line_counts)
+    label = name or getattr(fn, "__name__", "?")
+    with obs.tracer().span("frontend.translate", cat="frontend", function=label):
+        dfgs = function_to_dfgs(fn, name=name)
+    with obs.tracer().span(
+        "frontend.profile", cat="frontend", function=label
+    ) as span:
+        line_counts = collect_line_counts(fn, calls)
+        block_counts = attribute_to_blocks(dfgs.cfg, line_counts)
+        span.note(calls=line_counts.calls, blocks=len(block_counts))
+    metrics = obs.metrics()
+    metrics.inc("frontend.functions_total")
+    metrics.inc("frontend.blocks_total", len(dfgs.blocks))
+    metrics.inc("frontend.profiled_calls_total", line_counts.calls)
     return ProfiledFunction(
         dfgs=dfgs, block_counts=block_counts, line_counts=line_counts
     )
@@ -190,7 +201,12 @@ def static_profile(
     default_count: float = 1.0,
 ) -> ProfiledFunction:
     """A :class:`ProfiledFunction` without running *fn* (uniform weights)."""
-    dfgs = function_to_dfgs(fn, name=name)
+    label = name or getattr(fn, "__name__", "?")
+    with obs.tracer().span("frontend.translate", cat="frontend", function=label):
+        dfgs = function_to_dfgs(fn, name=name)
+    metrics = obs.metrics()
+    metrics.inc("frontend.functions_total")
+    metrics.inc("frontend.blocks_total", len(dfgs.blocks))
     return ProfiledFunction(
         dfgs=dfgs,
         block_counts=[default_count] * len(dfgs.blocks),

@@ -20,6 +20,7 @@ from ..dfg.graph import DataFlowGraph
 from ..engine.batch import BatchRunner
 from ..engine.registry import DEFAULT_ALGORITHM
 from ..memo.store import ResultStore
+from ..obs import runtime as obs
 from .isa import CustomInstruction, InstructionSetExtension, make_instruction
 from .latency import DEFAULT_LATENCY_MODEL, LatencyModel, total_software_cycles
 from .selection import SelectionConfig, select_cuts
@@ -155,56 +156,83 @@ def identify_instruction_set_extension(
         timeout=timeout,
         store=store,
     )
-    # run() drains the stream (store write-back happens per chunk inside it)
-    # and restores input order: instruction naming below is deterministic.
-    try:
-        items = runner.run(list(blocks), progress=progress).items
-    finally:
-        if batch_runner is None:
-            runner.close()  # release the worker pool of a runner we own
+    block_list = list(blocks)
+    with obs.tracer().span(
+        "ise.pipeline",
+        cat="ise",
+        application=application_name,
+        blocks=len(block_list),
+    ) as pipeline_span:
+        # run() drains the stream (store write-back happens per chunk inside
+        # it) and restores input order: instruction naming below is
+        # deterministic.
+        try:
+            with obs.tracer().span("ise.enumerate", cat="ise"):
+                items = runner.run(block_list, progress=progress).items
+        finally:
+            if batch_runner is None:
+                runner.close()  # release the worker pool of a runner we own
 
-    extension = InstructionSetExtension(application=application_name)
-    block_results: List[BlockResult] = []
-    instruction_index = 0
+        extension = InstructionSetExtension(application=application_name)
+        block_results: List[BlockResult] = []
+        instruction_index = 0
 
-    for item in items:
-        if item.error is not None:
-            raise RuntimeError(
-                f"enumeration failed for block {item.graph_name!r}: {item.error}"
-            )
-        context = item.context or runner.cache.get(item.graph, constraints)
-        if item.result is None:  # timed out: the block stays in software
-            block_results.append(
-                BlockResult(
+        with obs.tracer().span("ise.score_select", cat="ise"):
+            for item in items:
+                if item.error is not None:
+                    raise RuntimeError(
+                        f"enumeration failed for block {item.graph_name!r}: "
+                        f"{item.error}"
+                    )
+                context = item.context or runner.cache.get(item.graph, constraints)
+                if item.result is None:  # timed out: the block stays in software
+                    block_results.append(
+                        BlockResult(
+                            graph_name=item.graph_name,
+                            execution_count=item.execution_count,
+                            num_candidate_cuts=0,
+                            software_cycles=total_software_cycles(
+                                context, latency_model
+                            ),
+                        )
+                    )
+                    continue
+                scored = score_cuts(
+                    item.result.cuts,
+                    context,
+                    execution_count=item.execution_count,
+                    model=latency_model,
+                )
+                selected = select_cuts(scored, selection)
+                result = BlockResult(
                     graph_name=item.graph_name,
                     execution_count=item.execution_count,
-                    num_candidate_cuts=0,
+                    num_candidate_cuts=len(item.result.cuts),
+                    selected=selected,
                     software_cycles=total_software_cycles(context, latency_model),
+                    saved_cycles=sum(s.saved_cycles_per_execution for s in selected),
                 )
-            )
-            continue
-        scored = score_cuts(
-            item.result.cuts,
-            context,
-            execution_count=item.execution_count,
-            model=latency_model,
-        )
-        selected = select_cuts(scored, selection)
-        result = BlockResult(
-            graph_name=item.graph_name,
-            execution_count=item.execution_count,
-            num_candidate_cuts=len(item.result.cuts),
-            selected=selected,
-            software_cycles=total_software_cycles(context, latency_model),
-            saved_cycles=sum(s.saved_cycles_per_execution for s in selected),
-        )
-        block_results.append(result)
-        for scored_cut in selected:
-            extension.instructions.append(
-                make_instruction(
-                    f"cust{instruction_index}", scored_cut, context, latency_model
-                )
-            )
-            instruction_index += 1
+                block_results.append(result)
+                for scored_cut in selected:
+                    extension.instructions.append(
+                        make_instruction(
+                            f"cust{instruction_index}",
+                            scored_cut,
+                            context,
+                            latency_model,
+                        )
+                    )
+                    instruction_index += 1
 
-    return PipelineResult(extension=extension, blocks=block_results)
+        outcome = PipelineResult(extension=extension, blocks=block_results)
+        metrics = obs.metrics()
+        metrics.inc(
+            "ise.instructions_selected_total", len(extension.instructions)
+        )
+        metrics.inc("ise.blocks_total", len(block_results))
+        metrics.set_gauge("ise.application_speedup", outcome.application_speedup)
+        pipeline_span.note(
+            instructions=len(extension.instructions),
+            speedup=round(outcome.application_speedup, 4),
+        )
+    return outcome

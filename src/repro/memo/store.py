@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..core.constraints import Constraints
 from ..core.pruning import PruningConfig
 from ..core.stats import EnumerationStats
+from ..obs import runtime as obs
 
 #: Version of the on-disk entry format.  Bump when the payload schema
 #: changes; readers treat entries with any other version as cache misses.
@@ -64,7 +65,13 @@ def request_fingerprint(
 
 
 def stats_to_dict(stats: EnumerationStats) -> Dict[str, object]:
-    """JSON form of :class:`EnumerationStats` (inverse of :func:`stats_from_dict`)."""
+    """JSON form of :class:`EnumerationStats` (inverse of :func:`stats_from_dict`).
+
+    Every counter of the dataclass must round-trip: this dict is also the
+    form in which per-block stats travel from pool workers back to the
+    parent, and a field dropped here silently vanishes from parallel runs
+    (that is exactly how the forbidden-cache counters once disappeared).
+    """
     return {
         "cuts_found": stats.cuts_found,
         "duplicates": stats.duplicates,
@@ -74,6 +81,9 @@ def stats_to_dict(stats: EnumerationStats) -> Dict[str, object]:
         "pick_input_calls": stats.pick_input_calls,
         "pruned": dict(stats.pruned),
         "elapsed_seconds": stats.elapsed_seconds,
+        "lt_seconds": stats.lt_seconds,
+        "forbidden_cache_hits": stats.forbidden_cache_hits,
+        "forbidden_cache_misses": stats.forbidden_cache_misses,
     }
 
 
@@ -88,6 +98,9 @@ def stats_from_dict(data: Dict[str, object]) -> EnumerationStats:
         pick_input_calls=int(data.get("pick_input_calls", 0)),
         pruned={str(k): int(v) for k, v in dict(data.get("pruned", {})).items()},
         elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        lt_seconds=float(data.get("lt_seconds", 0.0)),
+        forbidden_cache_hits=int(data.get("forbidden_cache_hits", 0)),
+        forbidden_cache_misses=int(data.get("forbidden_cache_misses", 0)),
     )
 
 
@@ -135,6 +148,7 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     invalid: int = 0  # undecodable or wrong-version entries encountered
+    evictions: int = 0  # in-memory LRU front evictions
 
     @property
     def lookups(self) -> int:
@@ -148,8 +162,26 @@ class StoreStats:
         return (
             f"{self.lookups} lookup(s): {self.hits} hit(s), "
             f"{self.misses} miss(es) (hit rate {self.hit_rate:.1%}), "
-            f"{self.writes} write(s), {self.invalid} invalid entr(y/ies)"
+            f"{self.writes} write(s), {self.invalid} invalid entr(y/ies), "
+            f"{self.evictions} LRU eviction(s)"
         )
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalid": self.invalid,
+            "evictions": self.evictions,
+        }
+
+    def add_dict(self, data: Dict[str, object]) -> None:
+        """Accumulate a :meth:`to_dict`-shaped mapping into these counters."""
+        self.hits += int(data.get("hits", 0))
+        self.misses += int(data.get("misses", 0))
+        self.writes += int(data.get("writes", 0))
+        self.invalid += int(data.get("invalid", 0))
+        self.evictions += int(data.get("evictions", 0))
 
 
 class ResultStore:
@@ -172,6 +204,7 @@ class ResultStore:
         self.max_memory_entries = max_memory_entries
         self.stats = StoreStats()
         self._memory: "OrderedDict[str, StoredResult]" = OrderedDict()
+        self._persisted = StoreStats()  # counters already flushed to the sidecar
 
     # ------------------------------------------------------------------ #
     # Keys and paths
@@ -189,43 +222,51 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # Lookup / insert
     # ------------------------------------------------------------------ #
+    def _count_hit(self) -> None:
+        self.stats.hits += 1
+        obs.metrics().inc("store.hits_total")
+
+    def _count_miss(self, invalid: bool = False) -> None:
+        self.stats.misses += 1
+        obs.metrics().inc("store.misses_total")
+        if invalid:
+            # The entry exists but cannot be decoded or has the wrong format
+            # version — corruption, not a plain miss; keep the counters
+            # honest for operators.
+            self.stats.invalid += 1
+            obs.metrics().inc("store.invalid_total")
+
     def get(self, key: str) -> Optional[StoredResult]:
         """Return the stored result for *key*, or ``None`` on a miss."""
         cached = self._memory.get(key)
         if cached is not None:
             self._memory.move_to_end(key)
-            self.stats.hits += 1
+            self._count_hit()
             return cached
         path = self.path_of(key)
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
-            self.stats.misses += 1
+            self._count_miss()
             return None
         try:
             payload = json.loads(text)
         except ValueError:
-            # The entry exists but cannot be decoded — corruption, not a
-            # plain miss; keep the counters honest for operators.
-            self.stats.invalid += 1
-            self.stats.misses += 1
+            self._count_miss(invalid=True)
             return None
         if not isinstance(payload, dict):
-            self.stats.invalid += 1
-            self.stats.misses += 1
+            self._count_miss(invalid=True)
             return None
         if payload.get("format_version") != STORE_FORMAT_VERSION:
-            self.stats.invalid += 1
-            self.stats.misses += 1
+            self._count_miss(invalid=True)
             return None
         try:
             result = StoredResult.from_payload(payload)
         except (KeyError, TypeError, ValueError):
-            self.stats.invalid += 1
-            self.stats.misses += 1
+            self._count_miss(invalid=True)
             return None
         self._remember(key, result)
-        self.stats.hits += 1
+        self._count_hit()
         return result
 
     def put(self, key: str, result: StoredResult) -> None:
@@ -248,6 +289,7 @@ class ResultStore:
             raise
         self._remember(key, result)
         self.stats.writes += 1
+        obs.metrics().inc("store.puts_total")
 
     def put_many(self, entries: Sequence[Tuple[str, StoredResult]]) -> int:
         """Insert a batch of ``(key, result)`` pairs; returns the count written.
@@ -281,6 +323,8 @@ class ResultStore:
                 raise
             self._remember(key, result)
             self.stats.writes += 1
+        if entries:
+            obs.metrics().inc("store.puts_total", len(entries))
         return len(entries)
 
     def _remember(self, key: str, result: StoredResult) -> None:
@@ -290,6 +334,76 @@ class ResultStore:
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
+            self.stats.evictions += 1
+            obs.metrics().inc("store.evictions_total")
+
+    # ------------------------------------------------------------------ #
+    # Lifetime statistics (cross-run sidecar)
+    # ------------------------------------------------------------------ #
+    #: Name of the lifetime-counter sidecar at the store root.  Entries live
+    #: two shard levels down (``ab/cd/*.json``), so the sidecar never shows
+    #: up in entry scans.
+    STATS_SIDECAR = "_lifetime_stats.json"
+
+    @property
+    def _sidecar_path(self) -> Path:
+        return self.root / self.STATS_SIDECAR
+
+    def lifetime_stats(self) -> StoreStats:
+        """Cumulative counters across every run that called :meth:`persist_stats`.
+
+        Includes this instance's not-yet-persisted activity, so callers see
+        up-to-date totals whether or not a flush happened.
+        """
+        totals = StoreStats()
+        try:
+            payload = json.loads(self._sidecar_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            payload = {}
+        if isinstance(payload, dict):
+            totals.add_dict(payload)
+        delta = self._unpersisted_delta()
+        totals.add_dict(delta.to_dict())
+        return totals
+
+    def _unpersisted_delta(self) -> StoreStats:
+        delta = StoreStats()
+        delta.add_dict(self.stats.to_dict())
+        for field_name, flushed in self._persisted.to_dict().items():
+            setattr(delta, field_name, getattr(delta, field_name) - flushed)
+        return delta
+
+    def persist_stats(self) -> None:
+        """Flush this instance's counter deltas into the lifetime sidecar.
+
+        Best-effort (a read-modify-write with an atomic replace): concurrent
+        writers may drop each other's increment, which is acceptable for
+        operator-facing counters and keeps the hot path lock-free.  Safe to
+        call repeatedly — only the delta since the previous flush is added.
+        """
+        delta = self._unpersisted_delta()
+        if not any(delta.to_dict().values()):
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            totals = StoreStats()
+            try:
+                payload = json.loads(self._sidecar_path.read_text(encoding="utf-8"))
+                if isinstance(payload, dict):
+                    totals.add_dict(payload)
+            except (OSError, ValueError):
+                pass
+            totals.add_dict(delta.to_dict())
+            handle, temp_name = tempfile.mkstemp(
+                prefix=".stats-", suffix=".tmp", dir=self.root
+            )
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(json.dumps(totals.to_dict(), sort_keys=True))
+            os.replace(temp_name, self._sidecar_path)
+        except OSError:
+            return
+        self._persisted = StoreStats()
+        self._persisted.add_dict(self.stats.to_dict())
 
     # ------------------------------------------------------------------ #
     # Maintenance
@@ -318,6 +432,10 @@ class ResultStore:
         entries = self._entry_paths()
         for path in entries:
             path.unlink()
+        try:
+            self._sidecar_path.unlink()
+        except OSError:
+            pass
         if self.root.is_dir():
             # Children before parents; rmdir refuses non-empty directories
             # (e.g. a concurrent writer landed a fresh entry), which is what

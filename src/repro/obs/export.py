@@ -1,0 +1,234 @@
+"""Trace sinks: JSONL span logs and Chrome trace-event / Perfetto JSON.
+
+Two on-disk representations of one trace:
+
+* **JSONL** (``*.jsonl``): one JSON object per line — a ``meta`` header line
+  (schema tag + run metadata) followed by the raw span/instant records in
+  recording order.  Greppable, streamable, and the stable schema that tests
+  and CI validate (:func:`validate_trace_records`).
+* **Chrome trace-event JSON** (any other extension): the
+  ``{"traceEvents": [...]}`` document that https://ui.perfetto.dev and
+  ``chrome://tracing`` load directly.  Spans become complete (``"ph": "X"``)
+  events; each participating process gets a ``process_name`` metadata event,
+  so a batch run renders as one named row per pool worker with the parent's
+  dispatch spans above them.
+
+``repro <cmd> --trace FILE`` picks the representation from the extension;
+:func:`read_trace_file` re-ingests either (for ``repro metrics --trace``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .trace import TRACE_SCHEMA
+
+#: Required keys of one span/instant record and their types.
+_RECORD_FIELDS = {
+    "type": str,
+    "name": str,
+    "cat": str,
+    "ts": int,
+    "dur": int,
+    "pid": int,
+    "tid": int,
+    "args": dict,
+}
+
+_RECORD_TYPES = ("span", "instant")
+
+
+def validate_trace_records(records: List[Dict[str, object]]) -> List[str]:
+    """Schema-check *records*; returns human-readable problems (empty = ok)."""
+    problems: List[str] = []
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            problems.append(f"record {index}: not an object ({type(record).__name__})")
+            continue
+        for field, expected in _RECORD_FIELDS.items():
+            value = record.get(field)
+            if not isinstance(value, expected) or isinstance(value, bool):
+                problems.append(
+                    f"record {index}: field {field!r} must be "
+                    f"{expected.__name__}, got {value!r}"
+                )
+        kind = record.get("type")
+        if isinstance(kind, str) and kind not in _RECORD_TYPES:
+            problems.append(f"record {index}: unknown type {kind!r}")
+        if not record.get("name"):
+            problems.append(f"record {index}: empty name")
+        for numeric in ("ts", "dur"):
+            value = record.get(numeric)
+            if isinstance(value, int) and value < 0:
+                problems.append(f"record {index}: {numeric} is negative ({value})")
+    return problems
+
+
+# --------------------------------------------------------------------------- #
+# JSONL
+# --------------------------------------------------------------------------- #
+def write_jsonl(
+    path: Union[str, Path],
+    records: List[Dict[str, object]],
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write the meta header line plus one record per line."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as stream:
+        header = {"type": "meta", "schema": TRACE_SCHEMA, "meta": dict(meta or {})}
+        stream.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in records:
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_jsonl(
+    path: Union[str, Path]
+) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """Parse a JSONL trace; returns ``(meta, records)``; schema-checked."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    header = json.loads(lines[0])
+    if header.get("type") != "meta" or header.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"{path}: first line is not a {TRACE_SCHEMA} meta header: "
+            f"{lines[0][:120]}"
+        )
+    records = [json.loads(line) for line in lines[1:] if line.strip()]
+    problems = validate_trace_records(records)
+    if problems:
+        raise ValueError(f"{path}: invalid trace records: " + "; ".join(problems[:5]))
+    return dict(header.get("meta") or {}), records
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace-event format (Perfetto-loadable)
+# --------------------------------------------------------------------------- #
+def to_chrome_trace(
+    records: List[Dict[str, object]],
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Convert records into a Chrome trace-event document.
+
+    The earliest-starting process (normally the CLI parent) is labelled
+    ``repro main``; every other pid becomes ``repro worker <pid>``, so the
+    Perfetto timeline shows dispatch in the parent row and per-worker
+    execution below it.
+    """
+    events: List[Dict[str, object]] = []
+    first_ts_by_pid: Dict[int, int] = {}
+    for record in records:
+        pid = int(record["pid"])
+        ts = int(record["ts"])
+        if pid not in first_ts_by_pid or ts < first_ts_by_pid[pid]:
+            first_ts_by_pid[pid] = ts
+    main_pid = min(first_ts_by_pid, key=first_ts_by_pid.get, default=None)
+    for pid in sorted(first_ts_by_pid):
+        label = "repro main" if pid == main_pid else f"repro worker {pid}"
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    for record in records:
+        if record["type"] == "span":
+            events.append(
+                {
+                    "ph": "X",
+                    "name": record["name"],
+                    "cat": record["cat"],
+                    "ts": record["ts"],
+                    "dur": record["dur"],
+                    "pid": record["pid"],
+                    "tid": record["tid"],
+                    "args": record["args"],
+                }
+            )
+        else:  # instant
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": record["name"],
+                    "cat": record["cat"],
+                    "ts": record["ts"],
+                    "pid": record["pid"],
+                    "tid": record["tid"],
+                    "args": record["args"],
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA, **dict(meta or {})},
+    }
+
+
+def write_trace_file(
+    path: Union[str, Path],
+    records: List[Dict[str, object]],
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write *records* to *path*; the extension picks the representation.
+
+    ``.jsonl`` writes the raw JSONL span log; anything else writes the
+    Chrome trace-event document.  Returns the format written ("jsonl" or
+    "chrome").
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        write_jsonl(path, records, meta)
+        return "jsonl"
+    document = to_chrome_trace(records, meta)
+    path.write_text(json.dumps(document) + "\n", encoding="utf-8")
+    return "chrome"
+
+
+def read_trace_file(
+    path: Union[str, Path]
+) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """Re-ingest a trace written by :func:`write_trace_file` (either format)."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return read_jsonl(path)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError(f"{path}: not a Chrome trace-event document")
+    records: List[Dict[str, object]] = []
+    for event in document["traceEvents"]:
+        phase = event.get("ph")
+        if phase == "X":
+            records.append(
+                {
+                    "type": "span",
+                    "name": event["name"],
+                    "cat": event.get("cat", "repro"),
+                    "ts": int(event["ts"]),
+                    "dur": int(event["dur"]),
+                    "pid": int(event["pid"]),
+                    "tid": int(event["tid"]),
+                    "args": dict(event.get("args") or {}),
+                }
+            )
+        elif phase == "i":
+            records.append(
+                {
+                    "type": "instant",
+                    "name": event["name"],
+                    "cat": event.get("cat", "repro"),
+                    "ts": int(event["ts"]),
+                    "dur": 0,
+                    "pid": int(event["pid"]),
+                    "tid": int(event["tid"]),
+                    "args": dict(event.get("args") or {}),
+                }
+            )
+    meta = dict(document.get("otherData") or {})
+    meta.pop("schema", None)
+    return meta, records
