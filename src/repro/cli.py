@@ -67,12 +67,12 @@ from .engine.registry import (
     available_algorithms,
 )
 from .ise.pipeline import BlockProfile, identify_instruction_set_extension
+from .ise.selection import SelectionConfig
 from .memo.store import ResultStore
 from .obs import runtime as obs_runtime
 from .obs.export import read_trace_file, write_trace_file
 from .obs.metrics import METRICS_SCHEMA
 from .obs.report import format_run_report, load_metrics
-from .ise.selection import SelectionConfig
 from .workloads.kernels import KERNEL_FACTORIES, build_kernel, kernel_names
 from .workloads.mibench_like import SuiteConfig, build_suite, size_cluster
 from .workloads.suite import WorkloadSuite
@@ -694,6 +694,65 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the lint framework is not needed by the enumeration
+    # commands, and keeping it out of the default import path keeps CLI
+    # startup lean.
+    from .lint import format_text_report, iter_rules, report_to_dict, run_lint
+
+    if args.list_rules:
+        for rule, pass_name, description in iter_rules():
+            print(f"{rule:24} [{pass_name}] {description}")
+        return 0
+    if args.jobs == "auto":
+        jobs = os.cpu_count() or 1
+    else:
+        try:
+            jobs = int(args.jobs)
+        except ValueError:
+            raise SystemExit(f"--jobs must be an integer or 'auto', got {args.jobs!r}")
+        if jobs < 1:
+            raise SystemExit("--jobs must be >= 1")
+    select = None
+    if args.select:
+        select = [
+            rule.strip()
+            for entry in args.select
+            for rule in entry.split(",")
+            if rule.strip()
+        ]
+    try:
+        report = run_lint(
+            args.paths, select=select, jobs=jobs, changed=args.changed
+        )
+    except (FileNotFoundError, RuntimeError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    if args.format == "json":
+        rendered = (
+            json.dumps(
+                report_to_dict(
+                    report.diagnostics,
+                    report.files_scanned,
+                    report.roots,
+                    report.changed_ref,
+                ),
+                indent=2,
+            )
+            + "\n"
+        )
+    else:
+        rendered = format_text_report(report.diagnostics, report.files_scanned) + "\n"
+    if args.output:
+        Path(args.output).write_text(rendered, encoding="utf-8")
+        # Keep the terminal/CI log readable even when the machine-readable
+        # report goes to a file.
+        print(format_text_report(report.diagnostics, report.files_scanned))
+        print(f"lint report: {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+    return 0 if report.ok else 1
+
+
 def _cmd_cache_clear(args: argparse.Namespace) -> int:
     store = _cache_store(args)
     removed = store.clear()
@@ -905,6 +964,55 @@ def build_parser() -> argparse.ArgumentParser:
         "accounting of the run's wall time",
     )
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_lint = subparsers.add_parser(
+        "lint",
+        help="run the domain-aware static analysis passes (see repro.lint)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is the versioned CI artifact document)",
+    )
+    p_lint.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (repeatable); default: all",
+    )
+    p_lint.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N",
+        help="parallel worker processes for the per-file passes "
+        "('auto' = CPU count; project passes always run in-process)",
+    )
+    p_lint.add_argument(
+        "--changed",
+        default=None,
+        metavar="REF",
+        help="report only findings on lines touched since the git ref",
+    )
+    p_lint.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE (text summary still goes to stdout)",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule id with its pass and description, then exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     return parser
 

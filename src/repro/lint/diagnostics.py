@@ -1,0 +1,134 @@
+"""Shared diagnostic model of the ``repro lint`` pass framework.
+
+Every lint pass reports findings as :class:`Diagnostic` values — one rule id,
+one severity, one ``file:line:col`` anchor, a message and an optional fix
+hint — so the engine can sort, filter (suppressions, ``--changed``), count
+and render them uniformly in either human-readable text or the versioned
+JSON document CI uploads as an artifact (:data:`LINT_SCHEMA`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: Schema tag of the ``--format json`` document (bump on layout changes).
+LINT_SCHEMA = "repro-lint-1"
+
+#: Diagnostic severities, in increasing order of weight.  Both fail the run:
+#: severity is reporting metadata, not a gate distinction.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier (e.g. ``field-drift``) — the name used by
+        ``--select`` and ``# repro-lint: disable=`` suppressions.
+    severity:
+        ``"error"`` or ``"warning"`` (see :data:`SEVERITIES`).
+    path:
+        File the finding is anchored in, as given to the engine.
+    line / col:
+        1-based line and 0-based column of the anchor.
+    message:
+        One-sentence statement of the violation.
+    hint:
+        Optional fix suggestion, rendered after the message.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: Optional[str] = None
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def format_text(self) -> str:
+        """``path:line:col: rule severity: message (hint)`` one-liner."""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        entry: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.hint is not None:
+            entry["hint"] = self.hint
+        return entry
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Diagnostic":
+        return cls(
+            rule=str(data["rule"]),
+            severity=str(data["severity"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+            hint=None if data.get("hint") is None else str(data["hint"]),
+        )
+
+
+def summarize(diagnostics: Sequence[Diagnostic]) -> Dict[str, int]:
+    """Finding count per rule id, sorted by rule name."""
+    counts: Dict[str, int] = {}
+    for diagnostic in diagnostics:
+        counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+# Not a per-field serializer of Diagnostic (it delegates to
+# Diagnostic.to_dict), so the field-drift suffix heuristic over-matches.
+def report_to_dict(  # repro-lint: disable=field-drift
+    diagnostics: Sequence[Diagnostic],
+    files_scanned: int,
+    roots: Sequence[str],
+    changed_ref: Optional[str] = None,
+) -> Dict[str, object]:
+    """The versioned JSON document of one lint run (CI artifact format)."""
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    return {
+        "schema": LINT_SCHEMA,
+        "roots": list(roots),
+        "files_scanned": files_scanned,
+        "changed_ref": changed_ref,
+        "summary": summarize(ordered),
+        "diagnostics": [diagnostic.to_dict() for diagnostic in ordered],
+    }
+
+
+def format_text_report(
+    diagnostics: Sequence[Diagnostic], files_scanned: int
+) -> str:
+    """Human-readable report: one line per finding plus a per-rule tally."""
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    lines: List[str] = [diagnostic.format_text() for diagnostic in ordered]
+    if ordered:
+        tally = ", ".join(
+            f"{rule}={count}" for rule, count in summarize(ordered).items()
+        )
+        lines.append(
+            f"{len(ordered)} finding(s) in {files_scanned} file(s): {tally}"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files_scanned} file(s)")
+    return "\n".join(lines)

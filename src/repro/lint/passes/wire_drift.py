@@ -1,0 +1,232 @@
+"""Wire-format drift pass (``wire-drift``, ``wire-shape-config``).
+
+Two hand-maintained wire formats cross process boundaries in this repo:
+the compact graph tuples of :mod:`repro.dfg.serialization`
+(``graph_to_wire`` / ``graph_from_wire``, versioned by ``WIRE_VERSION``)
+and the chunk payload/result dicts of :mod:`repro.engine.batch`.  Both are
+consumed by code that was *not* necessarily updated in the same commit —
+result-store entries persist across runs, and a changed tuple layout reads
+back as garbage rather than as an error.
+
+The pass pins the *statically extracted shape* of each wire producer in
+source: a module declares
+
+.. code-block:: python
+
+    GRAPH_TO_WIRE_SHAPE_HISTORY = {1: "f3ab12cd9e0f4a21"}
+
+and the pass recomputes the shape hash of the function ``graph_to_wire``
+(lowercased prefix of the constant name) on every run.  The hash covers the
+canonical dump (:func:`~repro.lint.passes.base.canonical_dump`, stable
+across CPython 3.10–3.12) of every ``return`` expression plus every dict
+literal handed to ``.append(...)`` — the shapes that actually travel.
+
+The version the current hash must be filed under comes from
+``<PREFIX>_SHAPE_VERSION`` if present, else the module's ``WIRE_VERSION``;
+either may be an ``int`` literal or a one-hop reference to another
+module-level ``int``.  Changing the producer without bumping the version
+(or bumping without recording the new hash) is ``wire-drift``; a
+malformed/unresolvable pin is ``wire-shape-config``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from typing import Dict, List, Optional
+
+from ..diagnostics import Diagnostic
+from ..engine import FileContext
+from .base import FilePass, canonical_dump
+
+_HISTORY_RE = re.compile(r"^(?P<prefix>_?[A-Za-z0-9_]+)_SHAPE_HISTORY$")
+
+
+def shape_hash(func: ast.AST) -> str:
+    """Hex digest of the wire shape produced by *func*.
+
+    Covers every ``return`` expression and every dict literal passed to an
+    ``.append(...)`` call, in source order.
+    """
+    pieces: List[str] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            pieces.append("R:" + canonical_dump(node.value))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "append"
+            and node.args
+            and isinstance(node.args[0], ast.Dict)
+        ):
+            pieces.append("P:" + canonical_dump(node.args[0]))
+    digest = hashlib.sha256("\n".join(pieces).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+class WireDriftPass(FilePass):
+    name = "wire-drift"
+    rules = ("wire-drift", "wire-shape-config")
+    rule_descriptions = {
+        "wire-drift": (
+            "the statically-extracted shape of a wire producer changed "
+            "without a version bump (or the bumped version has no recorded "
+            "shape hash)"
+        ),
+        "wire-shape-config": (
+            "a *_SHAPE_HISTORY pin is malformed: unresolvable function, "
+            "non-{int: str} history, or missing version constant"
+        ),
+    }
+
+    def check_file(self, ctx: FileContext) -> List[Diagnostic]:
+        constants = self._int_constants(ctx.tree)
+        diagnostics: List[Diagnostic] = []
+        for name, node, value in self._module_assignments(ctx.tree):
+            match = _HISTORY_RE.match(name)
+            if match is None:
+                continue
+            prefix = match.group("prefix")
+            diagnostics.extend(
+                self._check_pin(ctx, prefix, node, value, constants)
+            )
+        return diagnostics
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _module_assignments(tree: ast.Module):
+        for statement in tree.body:
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        yield target.id, statement, statement.value
+            elif isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                if statement.value is not None:
+                    yield statement.target.id, statement, statement.value
+
+    def _int_constants(self, tree: ast.Module) -> Dict[str, int]:
+        """Module-level ``NAME = <int>`` bindings (with one-hop chasing)."""
+        direct: Dict[str, int] = {}
+        aliases: Dict[str, str] = {}
+        for name, _node, value in self._module_assignments(tree):
+            if isinstance(value, ast.Constant) and isinstance(value.value, int):
+                direct[name] = value.value
+            elif isinstance(value, ast.Name):
+                aliases[name] = value.id
+        for name, referent in aliases.items():
+            if referent in direct:
+                direct.setdefault(name, direct[referent])
+        return direct
+
+    def _parse_history(
+        self, value: ast.AST
+    ) -> Optional[Dict[int, str]]:
+        if not isinstance(value, ast.Dict):
+            return None
+        history: Dict[int, str] = {}
+        for key, entry in zip(value.keys, value.values):
+            if (
+                not isinstance(key, ast.Constant)
+                or not isinstance(key.value, int)
+                or not isinstance(entry, ast.Constant)
+                or not isinstance(entry.value, str)
+            ):
+                return None
+            history[key.value] = entry.value
+        return history
+
+    def _find_function(
+        self, tree: ast.Module, name: str
+    ) -> Optional[ast.AST]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name
+            ):
+                return node
+        return None
+
+    # ------------------------------------------------------------------ #
+    def _check_pin(
+        self,
+        ctx: FileContext,
+        prefix: str,
+        node: ast.AST,
+        value: ast.AST,
+        constants: Dict[str, int],
+    ) -> List[Diagnostic]:
+        func_name = prefix.lower()
+        history = self._parse_history(value)
+        if history is None or not history:
+            return [
+                ctx.diagnostic(
+                    "wire-shape-config",
+                    node,
+                    f"{prefix}_SHAPE_HISTORY must be a non-empty literal "
+                    "dict of {int version: str shape hash}",
+                    hint="use literal int keys and string hash values",
+                )
+            ]
+        func = self._find_function(ctx.tree, func_name)
+        if func is None:
+            return [
+                ctx.diagnostic(
+                    "wire-shape-config",
+                    node,
+                    f"{prefix}_SHAPE_HISTORY pins function {func_name!r}, "
+                    "which does not exist in this module",
+                    hint=(
+                        "the constant name must be "
+                        "<FUNCTION_NAME_UPPERCASED>_SHAPE_HISTORY"
+                    ),
+                )
+            ]
+        version = constants.get(f"{prefix}_SHAPE_VERSION")
+        if version is None:
+            version = constants.get("WIRE_VERSION")
+        if version is None:
+            return [
+                ctx.diagnostic(
+                    "wire-shape-config",
+                    node,
+                    f"no version constant for {prefix}_SHAPE_HISTORY: "
+                    f"define {prefix}_SHAPE_VERSION or WIRE_VERSION as a "
+                    "module-level int",
+                    hint="an int literal or a one-hop reference to one",
+                )
+            ]
+        current = shape_hash(func)
+        recorded = history.get(version)
+        if recorded is None:
+            return [
+                ctx.diagnostic(
+                    "wire-drift",
+                    node,
+                    f"version {version} of {func_name!r} has no recorded "
+                    f"shape hash (current shape is {current!r})",
+                    hint=(
+                        f"add {{{version}: {current!r}}} to "
+                        f"{prefix}_SHAPE_HISTORY after reviewing the "
+                        "compatibility impact"
+                    ),
+                )
+            ]
+        if recorded != current:
+            return [
+                ctx.diagnostic(
+                    "wire-drift",
+                    func,
+                    f"the wire shape of {func_name!r} changed (hash "
+                    f"{current!r}, recorded {recorded!r} for version "
+                    f"{version}) without a version bump",
+                    hint=(
+                        "bump the version constant and record the new hash "
+                        f"{current!r} in {prefix}_SHAPE_HISTORY; keep the "
+                        "old entry for provenance"
+                    ),
+                )
+            ]
+        return []
