@@ -132,7 +132,11 @@ class Constraints:
         have the same fingerprint exactly when they compare equal, across
         processes and interpreter versions.
         """
-        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        # Cold administrative helper: fingerprints are computed once per
+        # cache-key derivation, never inside the enumeration loops.
+        payload = json.dumps(  # repro-lint: disable=hot-path-impure-call
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def describe(self) -> str:

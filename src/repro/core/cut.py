@@ -199,8 +199,9 @@ def between_mask(context: EnumerationContext, sources_mask: int, target: int) ->
 def build_body_mask(context: EnumerationContext, inputs_mask: int, outputs_mask: int) -> int:
     """Theorem 3 construction: ``S = ∪_{o ∈ O} B(I, o) \\ I`` as a mask."""
     body = 0
+    reach_between = context.reach.between_mask
     for output in iterate_mask(outputs_mask):
-        body |= context.reach.between_mask(inputs_mask, output)
+        body |= reach_between(inputs_mask, output)
     return body & ~inputs_mask
 
 

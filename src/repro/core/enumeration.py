@@ -127,6 +127,7 @@ def _do_enum(
     """``DO-ENUM`` of Figure 2."""
     stats.pick_output_calls += 1
     postdom = ctx.postdom_tree
+    reach_between = ctx.reach.between_mask
     for output in ctx.candidate_nodes:
         if (outputs_mask >> output) & 1:
             continue
@@ -137,7 +138,7 @@ def _do_enum(
             new_inputs_mask = inputs_mask | dominator_mask
             if popcount(new_inputs_mask) > ctx.max_inputs:
                 continue
-            between = ctx.reach.between_mask(dominator_mask, output)
+            between = reach_between(dominator_mask, output)
             new_body_mask = body_mask | between
             stats.candidates_checked += 1
             _maybe_record(ctx, new_body_mask, new_inputs_mask, new_outputs_mask, stats, found)

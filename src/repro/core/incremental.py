@@ -38,7 +38,7 @@ measures how much search each rule removes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..dfg.graph import DataFlowGraph
 from ..dfg.reachability import ids_from_mask
@@ -165,23 +165,25 @@ class IncrementalEnumerator:
                 self.pruning.connected_recovery and has_internal_outputs
             )
 
+        output_output = self.pruning.output_output
+        count_pruned = self.stats.count_pruned
         for output in self._output_candidates:
             if (outputs_mask >> output) & 1:
                 continue
             # Section 5.1: chosen outputs may not postdominate one another.
             if comparable[output] & outputs_mask:
                 continue
-            if self.pruning.output_output and (
+            if output_output and (
                 reach.descendants_mask(output) & outputs_mask
             ):
                 # Output-output pruning: ancestors of a chosen output.
-                self.stats.count_pruned("output_output")
+                count_pruned("output_output")
                 continue
             if outputs_mask and require_connected:
                 if inputs_mask == 0 or not (
                     reach.ancestors_mask(output) & inputs_mask
                 ):
-                    self.stats.count_pruned("connectedness")
+                    count_pruned("connectedness")
                     continue
 
             new_outputs_mask = outputs_mask | (1 << output)
@@ -239,20 +241,23 @@ class IncrementalEnumerator:
             )
             return
 
+        output_input = self.pruning.output_input
+        input_input = self.pruning.input_input
+        prune_while_building = self.pruning.prune_while_building
         for completion in step.completions:
             if completion == ctx.source or (inputs_mask >> completion) & 1:
                 continue
-            if self.pruning.output_input and self._output_input_prune(
+            if output_input and self._output_input_prune(
                 completion, output, inputs_mask
             ):
                 continue
-            if self.pruning.input_input and self._input_input_prune(
+            if input_input and self._input_input_prune(
                 inputs_mask, completion
             ):
                 continue
             new_inputs_mask = inputs_mask | (1 << completion)
             new_body_mask = body_mask | tables.between(completion, output)
-            if self.pruning.prune_while_building and self._prune_body(
+            if prune_while_building and self._prune_body(
                 new_body_mask, new_inputs_mask
             ):
                 continue
@@ -267,17 +272,17 @@ class IncrementalEnumerator:
         if nin_left > 1:
             # Extend the seed set with another ancestor of the output.
             for seed in self._seed_candidates(output, inputs_mask):
-                if self.pruning.output_input and self._output_input_prune(
+                if output_input and self._output_input_prune(
                     seed, output, inputs_mask
                 ):
                     continue
-                if self.pruning.input_input and self._input_input_prune(
+                if input_input and self._input_input_prune(
                     inputs_mask, seed
                 ):
                     continue
                 new_inputs_mask = inputs_mask | (1 << seed)
                 new_body_mask = body_mask | tables.between(seed, output)
-                if self.pruning.prune_while_building and self._prune_body(
+                if prune_while_building and self._prune_body(
                     new_body_mask, new_inputs_mask
                 ):
                     continue
@@ -309,8 +314,10 @@ class IncrementalEnumerator:
         """
         ctx = self.ctx
         mask = 0
+        successors_mask = ctx.reach.successors_mask
+        forbidden = ctx.forbidden_mask
         for vertex in ctx.candidate_nodes:
-            if ctx.reach.successors_mask(vertex) & ctx.forbidden_mask:
+            if successors_mask(vertex) & forbidden:
                 mask |= 1 << vertex
         return mask
 

@@ -40,8 +40,9 @@ def head_vertices(context: EnumerationContext, body_mask: int) -> List[int]:
     removed vertex has no predecessor in the cut.
     """
     result = []
+    predecessors_mask = context.reach.predecessors_mask
     for vertex in iterate_mask(body_mask):
-        if not (context.reach.predecessors_mask(vertex) & body_mask):
+        if not (predecessors_mask(vertex) & body_mask):
             result.append(vertex)
     return result
 
