@@ -25,10 +25,17 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Any, Dict, List, Optional, Tuple, Union, cast
 
 from .graph import DataFlowGraph
 from .opcodes import Opcode
+
+#: One node of the wire tuple: ``(opcode_value, name, forbidden, live_out,
+#: attr_pairs)`` — see :func:`graph_to_wire` for the layout contract.
+WireNode = Tuple[str, Optional[str], bool, bool, Tuple[Tuple[str, Any], ...]]
+
+#: The full wire tuple: ``(WIRE_VERSION, name, nodes, edges)``.
+WireGraph = Tuple[int, str, Tuple[WireNode, ...], Tuple[Tuple[int, int], ...]]
 
 #: Version of the DFG JSON schema written by :func:`graph_to_dict`.
 SCHEMA_VERSION = 1
@@ -38,6 +45,12 @@ SUPPORTED_SCHEMA_VERSIONS = frozenset({1})
 
 #: Version of the compact in-memory wire format (:func:`graph_to_wire`).
 WIRE_VERSION = 1
+
+#: Statically-extracted shape of the tuple :func:`graph_to_wire` builds,
+#: pinned by ``repro lint``'s wire-drift pass.  Changing the tuple layout
+#: requires bumping :data:`WIRE_VERSION` and recording the new hash here —
+#: old entries stay for provenance.
+GRAPH_TO_WIRE_SHAPE_HISTORY: Dict[int, str] = {1: "07aa5ebe74601b5b"}
 
 
 def graph_to_dict(graph: DataFlowGraph) -> Dict[str, object]:
@@ -79,7 +92,10 @@ def graph_from_dict(data: Dict[str, object]) -> DataFlowGraph:
             "regenerate the file or migrate it before loading"
         )
     graph = DataFlowGraph(name=name)
-    nodes = sorted(data["nodes"], key=lambda entry: entry["id"])  # type: ignore[index]
+    nodes = sorted(
+        cast(List[Dict[str, Any]], data["nodes"]),
+        key=lambda entry: cast(int, entry["id"]),
+    )
     for expected_id, entry in enumerate(nodes):
         if entry["id"] != expected_id:
             raise ValueError(
@@ -95,7 +111,7 @@ def graph_from_dict(data: Dict[str, object]) -> DataFlowGraph:
             **entry.get("attributes", {}),
         )
         assert node_id == expected_id
-    for src, dst in data["edges"]:  # type: ignore[union-attr]
+    for src, dst in cast(List[Tuple[int, int]], data["edges"]):
         graph.add_edge(int(src), int(dst))
     return graph
 
@@ -103,7 +119,7 @@ def graph_from_dict(data: Dict[str, object]) -> DataFlowGraph:
 # --------------------------------------------------------------------------- #
 # Compact wire format (process-to-process, not for disk)
 # --------------------------------------------------------------------------- #
-def graph_to_wire(graph: DataFlowGraph) -> tuple:
+def graph_to_wire(graph: DataFlowGraph) -> WireGraph:
     """Convert a DFG to a compact, picklable tuple.
 
     The wire form is the hot-path sibling of :func:`graph_to_dict`: same
@@ -137,7 +153,7 @@ def graph_to_wire(graph: DataFlowGraph) -> tuple:
     )
 
 
-def graph_from_wire(wire: tuple) -> DataFlowGraph:
+def graph_from_wire(wire: WireGraph) -> DataFlowGraph:
     """Rebuild a DFG from :func:`graph_to_wire` output."""
     version, name, nodes, edges = wire
     if version != WIRE_VERSION:

@@ -94,9 +94,9 @@ from concurrent.futures import (
     CancelledError,
     Future,
     ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
     wait,
 )
-from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -386,12 +386,23 @@ _worker_cache: Optional[ContextCache] = None
 _worker_graphs: "OrderedDict[str, DataFlowGraph]" = OrderedDict()
 
 
+#: Statically-extracted shape of the chunk result records produced by
+#: :func:`_enumerate_chunk` (every appended dict plus the return
+#: expressions), pinned by ``repro lint``'s wire-drift pass.  Changing the
+#: record layout requires bumping ``_ENUMERATE_CHUNK_SHAPE_VERSION`` and
+#: recording the new hash here — old entries stay for provenance.
+_ENUMERATE_CHUNK_SHAPE_VERSION = 1
+_ENUMERATE_CHUNK_SHAPE_HISTORY = {1: "dda190e6e754a264"}
+
+
+# repro-lint: worker-entry
 def _worker_ping(seconds: float) -> int:
     """Warm-up task: occupy a worker briefly so the pool actually spawns."""
     time.sleep(seconds)
     return os.getpid()
 
 
+# repro-lint: worker-entry
 def _enumerate_chunk(
     payload: Tuple[
         str,
