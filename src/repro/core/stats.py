@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterator, List, Optional, Set
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .cut import Cut
@@ -106,7 +106,7 @@ class EnumerationResult:
     def __iter__(self) -> Iterator["Cut"]:
         return iter(self.cuts)
 
-    def node_sets(self) -> set:
+    def node_sets(self) -> Set[FrozenSet[int]]:
         """The cuts as a set of frozen vertex-id sets (order-independent)."""
         return {cut.nodes for cut in self.cuts}
 
@@ -114,7 +114,7 @@ class EnumerationResult:
         """The *count* largest cuts by number of vertices."""
         return sorted(self.cuts, key=lambda cut: len(cut.nodes), reverse=True)[:count]
 
-    def filter(self, predicate) -> List["Cut"]:
+    def filter(self, predicate: Callable[["Cut"], bool]) -> List["Cut"]:
         """Cuts satisfying *predicate*."""
         return [cut for cut in self.cuts if predicate(cut)]
 

@@ -135,11 +135,17 @@ class RegisteredAlgorithm:
         self,
         graph: DataFlowGraph,
         constraints: Optional[Constraints] = None,
-        **kwargs: object,
+        pruning: Optional[PruningConfig] = None,
+        context: Optional[EnumerationContext] = None,
     ) -> EnumerationResult:
         """Convenience: build the request from keyword arguments and run it."""
         return self.enumerate(
-            EnumerationRequest(graph=graph, constraints=constraints, **kwargs)
+            EnumerationRequest(
+                graph=graph,
+                constraints=constraints,
+                pruning=pruning,
+                context=context,
+            )
         )
 
 
