@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import compare_on_suite, figure5_report, cluster_summary, format_table
+from repro.analysis import cluster_summary, compare_on_suite, figure5_report, format_table
 from repro.baselines import enumerate_cuts_exhaustive
 from repro.core import Constraints, enumerate_cuts
 from repro.workloads import SuiteConfig, build_suite, size_cluster

@@ -32,8 +32,7 @@ from pathlib import Path
 from repro.core import Constraints
 from repro.engine import BatchRunner
 from repro.frontend import build_corpus_suite
-from repro.obs import runtime as obs_runtime
-from repro.obs import span_coverage, validate_trace_records
+from repro.obs import runtime as obs_runtime, span_coverage, validate_trace_records
 
 RESULT_PATH = Path(__file__).resolve().parent / "BENCH_obs.json"
 

@@ -10,11 +10,10 @@ the number of dominator computations / candidate checks the rule removes.
 
 from __future__ import annotations
 
-import dataclasses
 
 import pytest
 
-from repro.core import Constraints, FULL_PRUNING, NO_PRUNING, PruningConfig, enumerate_cuts
+from repro.core import FULL_PRUNING, NO_PRUNING, Constraints, PruningConfig, enumerate_cuts
 from repro.workloads import SuiteConfig, build_suite
 
 

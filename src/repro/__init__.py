@@ -41,24 +41,24 @@ Sub-packages
     line-event profiling and a bundled pure-Python kernel corpus.
 """
 
+from .baselines import (
+    enumerate_connected_cuts,
+    enumerate_cuts_brute_force,
+    enumerate_cuts_exhaustive,
+)
 from .core import (
+    FULL_PRUNING,
+    NO_PRUNING,
+    PAPER_DEFAULT_CONSTRAINTS,
     Constraints,
     Cut,
     EnumerationContext,
     EnumerationResult,
     EnumerationStats,
-    FULL_PRUNING,
-    NO_PRUNING,
-    PAPER_DEFAULT_CONSTRAINTS,
     PruningConfig,
     enumerate_cuts,
     enumerate_cuts_basic,
     enumerate_with_recovery,
-)
-from .baselines import (
-    enumerate_connected_cuts,
-    enumerate_cuts_brute_force,
-    enumerate_cuts_exhaustive,
 )
 from .dfg import DataFlowGraph, DFGBuilder, Opcode
 from .engine import (

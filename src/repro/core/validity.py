@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List, Optional
 
 from ..dfg.reachability import ids_from_mask, iterate_mask, popcount
 from ..dominators.generalized import reachable_mask_avoiding

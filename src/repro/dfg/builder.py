@@ -17,7 +17,7 @@ Every helper returns the integer vertex id, so results can be combined freely.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from .graph import DataFlowGraph
 from .opcodes import Opcode

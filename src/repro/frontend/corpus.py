@@ -24,7 +24,7 @@ execution counts persisted in the suite metadata.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..ise.pipeline import BlockProfile

@@ -38,7 +38,7 @@ from __future__ import annotations
 import dis
 import types
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 from ..dfg.graph import DataFlowGraph
 from ..dfg.opcodes import Opcode

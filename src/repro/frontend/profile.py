@@ -26,7 +26,6 @@ import types
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..dfg.graph import DataFlowGraph
 from ..ise.pipeline import BlockProfile
 from ..obs import runtime as obs
 from .cfg import ControlFlowGraph

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable
+from typing import Dict
 
 from ..core.context import EnumerationContext
 from ..core.cut import Cut

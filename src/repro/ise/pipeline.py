@@ -12,7 +12,7 @@ estimated application speedup.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Union
 
 from ..core.constraints import Constraints
 from ..core.pruning import FULL_PRUNING, PruningConfig
@@ -21,7 +21,7 @@ from ..engine.batch import BatchRunner
 from ..engine.registry import DEFAULT_ALGORITHM
 from ..memo.store import ResultStore
 from ..obs import runtime as obs
-from .isa import CustomInstruction, InstructionSetExtension, make_instruction
+from .isa import InstructionSetExtension, make_instruction
 from .latency import DEFAULT_LATENCY_MODEL, LatencyModel, total_software_cycles
 from .selection import SelectionConfig, select_cuts
 from .speedup import ScoredCut, score_cuts

@@ -9,8 +9,8 @@ how often the block executes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Iterable, List
 
 from ..core.context import EnumerationContext
 from ..core.cut import Cut

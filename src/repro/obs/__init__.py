@@ -5,24 +5,7 @@ recorders, and the README's "Observability" section for the user-facing
 ``--trace`` / ``--metrics-json`` workflow.
 """
 
-from .metrics import (
-    DEFAULT_TIME_BUCKETS,
-    METRICS_SCHEMA,
-    METRICS_WIRE_VERSION,
-    Histogram,
-    MetricsRegistry,
-    NULL_METRICS,
-    NullMetrics,
-    label_key,
-)
-from .trace import (
-    NULL_TRACER,
-    NullTracer,
-    Span,
-    TRACE_SCHEMA,
-    TRACE_WIRE_VERSION,
-    Tracer,
-)
+from . import runtime
 from .export import (
     read_jsonl,
     read_trace_file,
@@ -30,6 +13,16 @@ from .export import (
     validate_trace_records,
     write_jsonl,
     write_trace_file,
+)
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    METRICS_SCHEMA,
+    METRICS_WIRE_VERSION,
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    label_key,
 )
 from .report import (
     aggregate_spans,
@@ -41,7 +34,14 @@ from .report import (
     load_metrics,
     span_coverage,
 )
-from . import runtime
+from .trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    TRACE_WIRE_VERSION,
+    NullTracer,
+    Span,
+    Tracer,
+)
 
 __all__ = [
     "DEFAULT_TIME_BUCKETS",

@@ -28,7 +28,7 @@ Label keys are free-form but low-cardinality (``algorithm``, ``status``,
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 #: Schema tag of the JSON document form (``--metrics-json`` files).
 METRICS_SCHEMA = "repro-metrics-1"

@@ -20,7 +20,7 @@ from repro.analysis import (
 from repro.cli import build_parser, main
 from repro.core import Constraints, enumerate_cuts
 from repro.dfg.builder import diamond, linear_chain
-from repro.workloads import SuiteConfig, build_suite, size_cluster
+from repro.workloads import size_cluster
 from repro.workloads.kernels import build_kernel
 
 

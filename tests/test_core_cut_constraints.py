@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core import Constraints, Cut, EnumerationContext, PAPER_DEFAULT_CONSTRAINTS
+from repro.core import PAPER_DEFAULT_CONSTRAINTS, Constraints, Cut, EnumerationContext
 from repro.core.cut import build_body_mask, count_mask
-from repro.core.pruning import FULL_PRUNING, NO_PRUNING, PruningConfig
+from repro.core.pruning import FULL_PRUNING, NO_PRUNING
 from repro.dfg import Opcode
 from repro.dfg.reachability import mask_from_ids
 

@@ -4,10 +4,10 @@ import pytest
 
 from repro.baselines import enumerate_cuts_brute_force, enumerate_cuts_exhaustive
 from repro.core import (
-    Constraints,
-    EnumerationContext,
     FULL_PRUNING,
     NO_PRUNING,
+    Constraints,
+    EnumerationContext,
     enumerate_cuts,
     enumerate_cuts_basic,
 )

@@ -13,16 +13,15 @@ paper's domain,
   algorithm's result.
 """
 
-from hypothesis import given, settings
 import pytest
+from hypothesis import given, settings
 
 from repro.baselines import enumerate_cuts_brute_force, enumerate_cuts_exhaustive
 from repro.core import (
-    Constraints,
-    EnumerationContext,
     FULL_PRUNING,
     NO_PRUNING,
-    PruningConfig,
+    Constraints,
+    EnumerationContext,
     enumerate_cuts,
     enumerate_cuts_basic,
 )

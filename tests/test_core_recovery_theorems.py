@@ -13,7 +13,7 @@ from repro.core import (
 from repro.core.cut import build_body_mask
 from repro.core.recovery import head_vertices, recover_excluded_cuts
 from repro.core.validity import is_valid_cut_mask, satisfies_technical_condition
-from repro.dfg.reachability import ids_from_mask, mask_from_ids
+from repro.dfg.reachability import mask_from_ids
 from repro.dominators.generalized import is_generalized_dominator
 from tests.conftest import dag_seeds, io_constraints, make_random_dag
 

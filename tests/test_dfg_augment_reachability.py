@@ -1,11 +1,9 @@
 """Tests for graph augmentation and the reachability/bit-mask machinery."""
 
-import pytest
+import networkx as nx
 from hypothesis import given
 
-import networkx as nx
-
-from repro.dfg import DataFlowGraph, Opcode, augment
+from repro.dfg import augment
 from repro.dfg.reachability import (
     ReachabilityInfo,
     ids_from_mask,

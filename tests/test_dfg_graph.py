@@ -1,11 +1,10 @@
 """Unit tests for the DataFlowGraph container."""
 
+import networkx as nx
 import pytest
 
-import networkx as nx
-
 from repro.dfg import DataFlowGraph, GraphStructureError, Opcode
-from repro.dfg.builder import diamond, linear_chain
+from repro.dfg.builder import linear_chain
 
 
 class TestConstruction:

@@ -6,12 +6,11 @@ Cooper–Harvey–Kennedy algorithm, against ``networkx.immediate_dominators``,
 and on hand-computable graphs.
 """
 
+import networkx as nx
 import pytest
 from hypothesis import given
 
-import networkx as nx
-
-from repro.dfg import DataFlowGraph, Opcode, augment
+from repro.dfg import augment
 from repro.dfg.reachability import mask_from_ids
 from repro.dominators import (
     DominatorTree,

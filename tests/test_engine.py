@@ -6,8 +6,7 @@ import os
 
 import pytest
 
-from tests.conftest import make_random_dag
-from repro.core import Constraints, EnumerationResult, FULL_PRUNING
+from repro.core import FULL_PRUNING, Constraints, EnumerationResult
 from repro.dfg.builder import diamond, linear_chain
 from repro.engine import (
     DEFAULT_ALGORITHM,
@@ -27,6 +26,7 @@ from repro.engine import (
 )
 from repro.ise import BlockProfile, identify_instruction_set_extension
 from repro.workloads import WorkloadSuite, build_kernel
+from tests.conftest import make_random_dag
 
 ALL_ALGORITHMS = (
     "poly-enum-incremental",

@@ -11,7 +11,6 @@ the shared target-resolution helper.
 from __future__ import annotations
 
 import json
-import sys
 from pathlib import Path
 
 import pytest
@@ -45,7 +44,6 @@ from repro.frontend.corpus import (
     fir_tap4,
     popcount32,
 )
-from repro.frontend.dfg_from_bytecode import BlockTranslator
 from repro.frontend.loader import SourceResolutionError
 from repro.ise.pipeline import identify_instruction_set_extension
 from repro.memo.canon import canonical_hash

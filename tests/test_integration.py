@@ -17,7 +17,7 @@ from repro import (
 )
 from repro.analysis import compare_on_suite, figure5_report, population_stats
 from repro.core import EnumerationContext, enumerate_with_recovery
-from repro.dfg import Opcode, loads, dumps
+from repro.dfg import dumps, loads
 from repro.ise import (
     BlockProfile,
     SelectionConfig,

@@ -1,16 +1,14 @@
 """Tests for the instruction-set-extension layer (latency, speedup, selection, pipeline)."""
 
-import math
 
 import pytest
 from hypothesis import given
 
-from repro.core import Constraints, Cut, EnumerationContext, enumerate_cuts
-from repro.dfg import Opcode
+from repro.core import Constraints, EnumerationContext, enumerate_cuts
 from repro.dfg.opcodes import software_latency
 from repro.ise import (
-    BlockProfile,
     DEFAULT_LATENCY_MODEL,
+    BlockProfile,
     LatencyModel,
     SelectionConfig,
     cut_area,

@@ -14,7 +14,6 @@ from repro.dfg.builder import DFGBuilder
 from repro.dfg.serialization import graph_from_dict, graph_to_dict
 from repro.engine.batch import BatchRunner
 from repro.memo import (
-    CanonicalForm,
     ResultStore,
     StoredResult,
     canonical_form,

@@ -3,10 +3,10 @@ bookkeeping, and report formatting corner cases."""
 
 import pytest
 
-from repro.core import Constraints, EnumerationContext, EnumerationStats, enumerate_cuts
-from repro.core.stats import EnumerationResult
 from repro.analysis.reporting import format_table, scatter_plot
 from repro.baselines import enumerate_cuts_exhaustive
+from repro.core import Constraints, EnumerationContext, EnumerationStats, enumerate_cuts
+from repro.core.stats import EnumerationResult
 from repro.dfg import DFGBuilder
 from repro.workloads import KERNEL_FACTORIES, build_kernel
 

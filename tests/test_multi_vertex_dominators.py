@@ -4,11 +4,11 @@ The optimised Dubrova-style enumeration is validated against a brute-force
 implementation that checks Definition 5 literally on every subset.
 """
 
-from hypothesis import given
 import pytest
+from hypothesis import given
 
 from repro.dfg import augment
-from repro.dfg.reachability import ids_from_mask, mask_from_ids
+from repro.dfg.reachability import mask_from_ids
 from repro.dominators import (
     blocks_all_paths,
     brute_force_generalized_dominators,

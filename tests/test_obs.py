@@ -15,7 +15,6 @@ import os
 
 import pytest
 
-from tests.conftest import make_random_dag
 from repro.cli import main
 from repro.core import EnumerationStats
 from repro.dfg.builder import diamond, linear_chain
@@ -29,13 +28,14 @@ from repro.obs import (
     Tracer,
     load_metrics,
     read_trace_file,
+    runtime as obs_runtime,
     span_coverage,
     to_chrome_trace,
     validate_trace_records,
     write_trace_file,
 )
-from repro.obs import runtime as obs_runtime
 from repro.workloads import WorkloadSuite, build_kernel
+from tests.conftest import make_random_dag
 
 
 @pytest.fixture(autouse=True)

@@ -24,10 +24,9 @@ import random
 
 import pytest
 
-from tests.conftest import make_random_dag
 from repro.baselines.legacy_incremental import enumerate_cuts_legacy
 from repro.core import Constraints
-from repro.core.context import ContributionTables, EnumerationContext
+from repro.core.context import EnumerationContext
 from repro.core.enumeration import enumerate_cuts_basic
 from repro.core.incremental import enumerate_cuts
 from repro.core.pruning import FULL_PRUNING, NO_PRUNING
@@ -44,6 +43,7 @@ from repro.workloads import (
     inverted_tree_dfg,
     tree_dfg,
 )
+from tests.conftest import make_random_dag
 
 PRUNING_VARIANTS = [FULL_PRUNING, NO_PRUNING] + [
     FULL_PRUNING.disable(name) for name in FULL_PRUNING.enabled_names()

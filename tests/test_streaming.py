@@ -19,18 +19,12 @@ import time
 
 import pytest
 
-from tests.conftest import make_random_dag
 from repro.core import Constraints
 from repro.dfg.builder import diamond, linear_chain
-from repro.engine import (
-    BatchRunner,
-    EnumerationRequest,
-    get_algorithm,
-    register_algorithm,
-    unregister_algorithm,
-)
+from repro.engine import BatchRunner, get_algorithm, register_algorithm, unregister_algorithm
 from repro.memo import ResultStore, enumerate_deduplicated, iter_enumerate_deduplicated
 from repro.workloads import build_kernel
+from tests.conftest import make_random_dag
 
 HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
 needs_fork = pytest.mark.skipif(
