@@ -1,199 +1,27 @@
 """BENCH-BATCH — Multi-block batch enumeration: dispatch overhead + speedup.
 
-The engine's :class:`~repro.engine.batch.BatchRunner` is the repo's path to
-whole-application scale: it drives every basic block of a workload through
-one enumeration algorithm, optionally across a persistent worker pool with
-chunked dispatch.  This benchmark checks the three properties that matter:
+The engine's :class:`~repro.engine.batch.BatchRunner` drives every basic
+block of a workload through one enumeration algorithm, optionally across a
+persistent worker pool with chunked dispatch.  Three properties matter:
 
-* **determinism** — a ``jobs=2`` run (and a forced-pool ``jobs=1`` run)
-  returns bit-identical cuts (and, through the ISE pipeline, identical
-  instruction selections) to the sequential run;
+* **determinism** — ``jobs=2`` and forced-pool runs return bit-identical
+  cuts (and identical ISE selections) to the sequential run (asserted);
 * **dispatch overhead** — a warmed forced-pool ``jobs=1`` run over the
-  frontend corpus must cost **< 15%** over the sequential run.  This is the
-  honest, single-core-measurable proxy for "parallelism can win": it prices
-  exactly the scheduler's per-block machinery (chunked task dispatch, wire
-  serialization, worker-resident graph/context registries, result
-  reassembly) with zero parallel upside.  Enforced as a hard gate here and
-  re-checked from ``BENCH_batch_runner.json`` in CI;
-* **throughput** — the wall-clock ``jobs=2`` speedup on the frontend corpus
-  is recorded, and on machines with ``cpu_count >= 2`` must exceed **1.5x**
-  (the ROADMAP target).  On a single-core container the speedup is recorded
-  for the trend but not gated — there is no parallelism to buy.
+  frontend corpus must cost < 15% over the sequential run (``gate_max`` on
+  ``dispatch_overhead``) — the honest, single-core-measurable proxy for
+  "parallelism can win";
+* **throughput** — the ``jobs=2`` speedup is recorded for the trend; on
+  machines with ``cpu_count >= 2`` it is asserted above 1.5x, on
+  single-core containers there is no parallelism to buy, so it is skipped.
+
+The measurement body and gates live in the unified harness
+(``repro.perf.suites.engine``, benchmark name ``batch_runner``); this script
+is the pytest entry point.  Refresh the committed baseline with
+``repro bench run batch_runner --write-records``.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import platform
-import time
-from pathlib import Path
 
-from repro.core import Constraints
-from repro.engine import BatchRunner
-from repro.frontend import build_corpus_suite
-from repro.ise import BlockProfile, SelectionConfig, identify_instruction_set_extension
-from repro.workloads import SuiteConfig, build_suite
-
-RESULT_PATH = Path(__file__).resolve().parent / "BENCH_batch_runner.json"
-
-#: The paper's experimental constraints.
-CONSTRAINTS = Constraints(max_inputs=4, max_outputs=2)
-
-#: The dispatch-overhead gate: warmed forced-pool jobs=1 may cost at most
-#: this fraction over sequential (was ~37% before the chunked persistent
-#: pool; CI re-enforces the same bound from the JSON record).
-MAX_DISPATCH_OVERHEAD = 0.15
-
-#: The ROADMAP throughput target at jobs=2, gated only when the machine
-#: actually has two cores to run on.
-MIN_PARALLEL_SPEEDUP = 1.5
-
-#: Timed repetitions; the minimum is reported, as usual for micro-benchmarks.
-REPEATS = 3
-
-
-def _benchmark_suite(scale: str):
-    """A deterministic synthetic suite of at least 8 blocks."""
-    num_blocks = 10 if scale == "small" else 24
-    max_operations = 26 if scale == "small" else 40
-    suite = build_suite(
-        SuiteConfig(
-            num_blocks=num_blocks,
-            min_operations=12,
-            max_operations=max_operations,
-            include_kernels=False,
-            include_trees=False,
-        )
-    )
-    assert len(suite) >= 8
-    return suite
-
-
-def _cut_keys(result):
-    return [
-        (cut.sorted_nodes(), tuple(sorted(cut.inputs)), tuple(sorted(cut.outputs)))
-        for cut in result.cuts
-    ]
-
-
-def _best_run_seconds(runner: BatchRunner, graphs, repeats: int = REPEATS):
-    """Minimum wall-clock of *repeats* runs; returns (report, seconds)."""
-    best = float("inf")
-    report = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        report = runner.run(graphs)
-        best = min(best, time.perf_counter() - start)
-    return report, best
-
-
-def test_batch_runner_overhead_and_speedup(bench_scale, capsys):
-    suite = _benchmark_suite(bench_scale)
-    corpus = list(build_corpus_suite())
-
-    # --- determinism on the synthetic suite: block-for-block, bit-for-bit - #
-    with BatchRunner(constraints=CONSTRAINTS, jobs=1) as runner:
-        sequential = runner.run(suite)
-    with BatchRunner(constraints=CONSTRAINTS, jobs=2) as runner:
-        parallel = runner.run(suite)
-    with BatchRunner(constraints=CONSTRAINTS, jobs=1, force_pool=True) as runner:
-        forced = runner.run(suite)
-    assert [i.graph_name for i in parallel.items] == [
-        i.graph_name for i in sequential.items
-    ]
-    for seq_item, par_item, fp_item in zip(
-        sequential.items, parallel.items, forced.items
-    ):
-        assert seq_item.ok and par_item.ok and fp_item.ok
-        assert _cut_keys(seq_item.result) == _cut_keys(par_item.result)
-        assert _cut_keys(seq_item.result) == _cut_keys(fp_item.result)
-
-    # --- determinism through the full ISE pipeline ----------------------- #
-    blocks = [BlockProfile(graph, execution_count=1000.0) for graph in suite]
-    selection = SelectionConfig(max_instructions=2)
-    pipe_seq = identify_instruction_set_extension(
-        blocks, CONSTRAINTS, selection=selection, jobs=1
-    )
-    pipe_par = identify_instruction_set_extension(
-        blocks, CONSTRAINTS, selection=selection, jobs=2
-    )
-    assert pipe_seq.application_speedup == pipe_par.application_speedup
-    for seq_block, par_block in zip(pipe_seq.blocks, pipe_par.blocks):
-        assert [s.cut.nodes for s in seq_block.selected] == [
-            s.cut.nodes for s in par_block.selected
-        ]
-
-    # --- dispatch overhead on the frontend corpus (the <15% gate) -------- #
-    with BatchRunner(constraints=CONSTRAINTS, jobs=1) as runner:
-        corpus_seq, sequential_seconds = _best_run_seconds(runner, corpus)
-    with BatchRunner(constraints=CONSTRAINTS, jobs=1, force_pool=True) as runner:
-        runner.warm_pool()
-        corpus_pool, pool_seconds = _best_run_seconds(runner, corpus)
-    for seq_item, pool_item in zip(corpus_seq.items, corpus_pool.items):
-        assert seq_item.ok and pool_item.ok
-        assert _cut_keys(seq_item.result) == _cut_keys(pool_item.result)
-    dispatch_overhead = pool_seconds / max(sequential_seconds, 1e-9) - 1.0
-    assert dispatch_overhead < MAX_DISPATCH_OVERHEAD, (
-        f"dispatch overhead {dispatch_overhead:.1%} at jobs=1 exceeds the "
-        f"{MAX_DISPATCH_OVERHEAD:.0%} gate (sequential {sequential_seconds:.4f}s, "
-        f"forced pool {pool_seconds:.4f}s)"
-    )
-
-    # --- jobs=2 throughput on the frontend corpus ------------------------ #
-    with BatchRunner(constraints=CONSTRAINTS, jobs=2) as runner:
-        runner.warm_pool()
-        corpus_par, parallel_seconds = _best_run_seconds(runner, corpus)
-    for seq_item, par_item in zip(corpus_seq.items, corpus_par.items):
-        assert seq_item.ok and par_item.ok
-        assert _cut_keys(seq_item.result) == _cut_keys(par_item.result)
-    speedup = sequential_seconds / max(parallel_seconds, 1e-9)
-    cpu_count = os.cpu_count() or 1
-    if cpu_count >= 2:
-        assert speedup > MIN_PARALLEL_SPEEDUP, (
-            f"jobs=2 speedup {speedup:.2f}x on the frontend corpus is below "
-            f"the {MIN_PARALLEL_SPEEDUP}x target on a {cpu_count}-CPU machine"
-        )
-
-    # --- record ----------------------------------------------------------- #
-    record = {
-        "benchmark": "batch_runner_dispatch_overhead_and_speedup",
-        "scale": bench_scale,
-        "suite_blocks": len(suite),
-        "corpus_blocks": len(corpus),
-        "corpus_cuts": corpus_seq.total_cuts(),
-        "constraints": {"max_inputs": 4, "max_outputs": 2},
-        "repeats": REPEATS,
-        "sequential_seconds": round(sequential_seconds, 4),
-        "forced_pool_seconds": round(pool_seconds, 4),
-        "dispatch_overhead": round(dispatch_overhead, 4),
-        "max_dispatch_overhead": MAX_DISPATCH_OVERHEAD,
-        "parallel_seconds": round(parallel_seconds, 4),
-        "parallel_speedup": round(speedup, 3),
-        "min_parallel_speedup": MIN_PARALLEL_SPEEDUP,
-        "speedup_gated": cpu_count >= 2,
-        "bit_identical": True,
-        "cpu_count": cpu_count,
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-    }
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
-
-    with capsys.disabled():
-        print()
-        print("=" * 72)
-        print("BENCH-BATCH: chunked persistent-pool dispatch vs sequential")
-        print("=" * 72)
-        print(
-            f"frontend corpus ({len(corpus)} blocks, {record['corpus_cuts']} cuts): "
-            f"sequential {sequential_seconds:.4f}s, "
-            f"forced pool jobs=1 {pool_seconds:.4f}s "
-            f"-> dispatch overhead {dispatch_overhead:+.1%} "
-            f"(gate <{MAX_DISPATCH_OVERHEAD:.0%})"
-        )
-        print(
-            f"jobs=2: {parallel_seconds:.4f}s -> speedup {speedup:.2f}x on "
-            f"{cpu_count} CPU(s)"
-            + ("" if cpu_count >= 2 else " (not gated on a single core)")
-        )
-        print(f"record written to {RESULT_PATH.name}")
+def test_batch_runner_overhead_and_speedup(bench_harness):
+    bench_harness("batch_runner")

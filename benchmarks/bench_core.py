@@ -1,299 +1,58 @@
 """BENCH-CORE — hot-path enumeration kernel benchmark and perf-regression gate.
 
-Measures the core enumeration algorithms on three workload families —
-synthetic trees (the Figure 4 worst case), the mibench-like suite (random
-embedded-statistics blocks plus the hand-written kernels) and the frontend
-corpus (real Python bytecode translated to DFGs) — and writes the record to
-``BENCH_core.json`` next to this file.
+Measures the optimized incremental enumerator against the frozen pre-PR
+legacy snapshot on three workload families — synthetic trees (the Figure 4
+worst case), the mibench-like suite and the frontend corpus — asserting
+bit-identical cuts throughout and gating on the per-family median speedups.
 
-Per graph and per algorithm the record carries wall-clock seconds,
-dominator-kernel (LT) call counts and cuts/second.  Every algorithm is timed
-against its own **freshly built** :class:`EnumerationContext`, so the shared
-caches the optimisation introduced start cold and the comparison measures the
-enumeration hot path, not residual cache warmth or the (identical) context
-construction cost.
+The measurement body, metric declarations and gates live in the unified
+harness (``repro.perf.suites.engine``, benchmark name ``core``); this script
+is a thin pytest/CLI entry point.  Two gates are enforced, exactly as
+before the harness existed:
 
-Two gates are enforced:
+* **speedup floor** — the median corpus+mibench speedup over kernel-scale
+  blocks must stay at or above 3x (``gate_min`` on
+  ``median_speedup_corpus_mibench``);
+* **regression gate** — per-family median speedups may not drop more than
+  20% below the committed ``BENCH_core.json`` baseline (``rel_tolerance``
+  on the family medians; speedup *ratios* are stable across machines,
+  absolute times are not).
 
-* **speedup floor** — the median speedup of ``poly-enum-incremental`` over
-  ``poly-enum-incremental-legacy`` (the frozen pre-optimization snapshot) on
-  the corpus + mibench families at Nin=4/Nout=2 must be at least
-  ``REQUIRED_SPEEDUP`` (3x).  The median is taken over *kernel-scale* blocks
-  (``>= MIN_GATE_NODES`` operations): trivial three-node blocks finish in
-  tens of microseconds and measure Python call overhead, not the kernel.
-* **regression gate** — per-family median speedups may not fall below
-  ``REGRESSION_TOLERANCE`` (80%) of the committed baseline in
-  ``BENCH_core_baseline.json``.  The gate compares speedup *ratios*, which
-  are stable across machines, rather than absolute times, which are not.
-
-Correctness is asserted alongside the timings: on **every** benchmarked
-graph the optimized enumerator's cuts must be bit-identical (vertex sets,
-inputs and outputs) to the legacy snapshot's.  Agreement with
-``poly-enum-basic`` is recorded per graph as well; the two polynomial
-variants legitimately differ on a few borderline cuts of some graphs (see
-the registry's semantics note and EXPERIMENTS.md), so basic-equality is
-asserted only where the pre-optimization enumerator already agreed — i.e.
-the optimisation may not change the relationship either way.
+Records are no longer written as a side effect of running; refresh the
+committed baseline with ``repro bench run core --write-records``.
 
 Run directly (``python benchmarks/bench_core.py --quick``) or through
-pytest (``pytest benchmarks/bench_core.py --bench-scale small``).
+pytest (``pytest benchmarks/bench_core.py --bench-scale small``), or via
+the harness: ``repro bench run core --compare-against-committed``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
-import statistics
 import sys
-import time
 from pathlib import Path
-from typing import Dict, List
 
-from repro.baselines.legacy_incremental import enumerate_cuts_legacy
-from repro.core import Constraints
-from repro.core.context import EnumerationContext
-from repro.core.enumeration import enumerate_cuts_basic
-from repro.core.incremental import enumerate_cuts
-from repro.frontend.corpus import build_corpus_suite
-from repro.workloads import SuiteConfig, build_suite, tree_dfg
-
-RESULT_PATH = Path(__file__).resolve().parent / "BENCH_core.json"
-BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_core_baseline.json"
-
-#: The paper's experimental constraints — the speedup floor is asserted here.
-CONSTRAINTS = Constraints(max_inputs=4, max_outputs=2)
-
-#: Acceptance floor: optimized vs. pre-PR median speedup on corpus + mibench.
-REQUIRED_SPEEDUP = 3.0
-
-#: A family's median speedup may not drop below this fraction of the
-#: committed baseline's (">20% slowdown fails").
-REGRESSION_TOLERANCE = 0.8
-
-#: Blocks smaller than this enter the bit-identity checks but not the
-#: speedup medians (they measure call overhead, not the kernel).
-MIN_GATE_NODES = 8
-
-#: (algorithm label, callable, size cap) — basic is the O(n^{2Nout+2})
-#: reference and is skipped on graphs where it would dominate the benchmark
-#: runtime without informing the gate.
-MAX_BASIC_NODES = 26
-
-
-def _families(scale: str) -> Dict[str, List]:
-    if scale == "small":
-        tree_depths = (2, 3, 4)
-        suite_config = SuiteConfig(
-            num_blocks=6,
-            min_operations=10,
-            max_operations=24,
-            include_kernels=True,
-            include_trees=False,
-        )
-    else:
-        tree_depths = (2, 3, 4, 5)
-        suite_config = SuiteConfig(
-            num_blocks=14,
-            min_operations=12,
-            max_operations=32,
-            include_kernels=True,
-            include_trees=False,
-        )
-    mibench = build_suite(suite_config)
-    if scale == "small":
-        # The replicated `_x3` kernels (70+ vertices) cost minutes on the
-        # legacy baseline alone; the small scale (the CI perf-smoke
-        # configuration) stays in the tens of seconds without them.  The
-        # suite is deterministic, so the filtered set is stable run-to-run.
-        mibench = [graph for graph in mibench if graph.num_nodes <= 48]
-    return {
-        "trees": [tree_dfg(depth) for depth in tree_depths],
-        "mibench": mibench,
-        "corpus": list(build_corpus_suite(profile=False)),
-    }
-
-
-def _cut_keys(result):
-    """Bit-level identity key: vertex sets with their inputs and outputs."""
-    return sorted(
-        (cut.sorted_nodes(), tuple(sorted(cut.inputs)), tuple(sorted(cut.outputs)))
-        for cut in result.cuts
-    )
-
-
-def _timed(algorithm, graph):
-    """Run *algorithm* against a fresh context; return (seconds, result)."""
-    context = EnumerationContext.build(graph, CONSTRAINTS)
-    start = time.perf_counter()
-    result = algorithm(graph, CONSTRAINTS, context=context)
-    return time.perf_counter() - start, result
-
-
-def _algorithm_record(seconds: float, result) -> Dict[str, object]:
-    cuts = len(result.cuts)
-    return {
-        "seconds": round(seconds, 6),
-        "cuts": cuts,
-        "lt_calls": result.stats.lt_calls,
-        "cuts_per_sec": round(cuts / seconds, 1) if seconds > 0 else None,
-    }
-
-
-def run_benchmark(scale: str = "small") -> Dict[str, object]:
-    """Measure every family, write ``BENCH_core.json`` and return the record."""
-    families: Dict[str, object] = {}
-    gate_speedups: List[float] = []  # corpus + mibench, kernel-scale blocks
-
-    for family_name, graphs in _families(scale).items():
-        rows = []
-        family_speedups = []
-        for graph in graphs:
-            legacy_seconds, legacy_result = _timed(enumerate_cuts_legacy, graph)
-            new_seconds, new_result = _timed(enumerate_cuts, graph)
-
-            identical = _cut_keys(new_result) == _cut_keys(legacy_result)
-            assert identical, (
-                f"optimized enumerator diverged from the pre-PR snapshot on "
-                f"{graph.name!r}"
-            )
-
-            row: Dict[str, object] = {
-                "graph": graph.name,
-                "num_nodes": graph.num_nodes,
-                "algorithms": {
-                    "poly-enum-incremental": _algorithm_record(new_seconds, new_result),
-                    "poly-enum-incremental-legacy": _algorithm_record(
-                        legacy_seconds, legacy_result
-                    ),
-                },
-                "speedup_vs_legacy": round(legacy_seconds / max(new_seconds, 1e-9), 3),
-                "identical_to_legacy": True,
-            }
-            if graph.num_nodes <= MAX_BASIC_NODES:
-                basic_seconds, basic_result = _timed(enumerate_cuts_basic, graph)
-                row["algorithms"]["poly-enum-basic"] = _algorithm_record(
-                    basic_seconds, basic_result
-                )
-                matches_basic = basic_result.node_sets() == new_result.node_sets()
-                legacy_matched_basic = (
-                    basic_result.node_sets() == legacy_result.node_sets()
-                )
-                # The optimisation may not change the basic-vs-incremental
-                # relationship in either direction (see the module docstring
-                # for why unconditional equality is not the invariant).
-                assert matches_basic == legacy_matched_basic, graph.name
-                row["matches_basic"] = matches_basic
-            rows.append(row)
-            if graph.num_nodes >= MIN_GATE_NODES:
-                family_speedups.append(row["speedup_vs_legacy"])
-                if family_name in ("corpus", "mibench"):
-                    gate_speedups.append(row["speedup_vs_legacy"])
-
-        families[family_name] = {
-            "graphs": rows,
-            "median_speedup_vs_legacy": round(statistics.median(family_speedups), 3)
-            if family_speedups
-            else None,
-        }
-
-    headline = round(statistics.median(gate_speedups), 3)
-    record = {
-        "schema": 1,
-        "scale": scale,
-        "constraints": {
-            "max_inputs": CONSTRAINTS.max_inputs,
-            "max_outputs": CONSTRAINTS.max_outputs,
-        },
-        "min_gate_nodes": MIN_GATE_NODES,
-        "required_speedup": REQUIRED_SPEEDUP,
-        "median_speedup_corpus_mibench": headline,
-        "families": families,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-    }
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
-    return record
-
-
-def enforce_gates(record: Dict[str, object]) -> List[str]:
-    """Return the list of gate violations (empty when everything passes)."""
-    problems: List[str] = []
-    headline = record["median_speedup_corpus_mibench"]
-    if headline < REQUIRED_SPEEDUP:
-        problems.append(
-            f"median corpus+mibench speedup {headline:.2f}x is below the "
-            f"required {REQUIRED_SPEEDUP:.1f}x floor"
-        )
-    if BASELINE_PATH.exists():
-        baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
-        if baseline.get("scale") != record.get("scale"):
-            # The baseline was recorded for a different graph population;
-            # comparing medians across scales would gate on the population
-            # difference, not on a regression.  The speedup floor above
-            # still applies.
-            return problems
-        for family, data in record["families"].items():
-            current = data["median_speedup_vs_legacy"]
-            reference = (
-                baseline.get("families", {})
-                .get(family, {})
-                .get("median_speedup_vs_legacy")
-            )
-            if current is None or reference is None:
-                continue
-            floor = REGRESSION_TOLERANCE * reference
-            if current < floor:
-                problems.append(
-                    f"family {family!r} speedup {current:.2f}x regressed below "
-                    f"{floor:.2f}x ({REGRESSION_TOLERANCE:.0%} of the committed "
-                    f"baseline {reference:.2f}x)"
-                )
-    else:
-        problems.append(f"committed baseline {BASELINE_PATH.name} is missing")
-    return problems
-
-
-def _print_summary(record: Dict[str, object]) -> None:
-    print()
-    print("=" * 72)
-    print("BENCH-CORE: enumeration hot-path kernel")
-    print("=" * 72)
-    for family, data in record["families"].items():
-        median = data["median_speedup_vs_legacy"]
-        count = len(data["graphs"])
-        print(
-            f"{family:8s}: {count:3d} graphs, median speedup vs legacy "
-            f"{median:.2f}x" if median else f"{family:8s}: {count:3d} graphs"
-        )
-    print(
-        f"headline (corpus+mibench, >= {record['min_gate_nodes']} nodes): "
-        f"{record['median_speedup_corpus_mibench']:.2f}x "
-        f"(required >= {record['required_speedup']:.1f}x)"
-    )
-    print(f"record written to {RESULT_PATH.name}")
+RECORDS_DIR = Path(__file__).resolve().parent
 
 
 # --------------------------------------------------------------------------- #
 # pytest entry point (collected by the benchmark-smoke CI job)
 # --------------------------------------------------------------------------- #
-def test_core_hot_path_speedup_and_regression_gate(bench_scale, capsys):
-    record = run_benchmark(bench_scale)
-    problems = enforce_gates(record)
-    with capsys.disabled():
-        _print_summary(record)
-    assert not problems, "; ".join(problems)
+def test_core_hot_path_speedup_and_regression_gate(bench_harness):
+    bench_harness("core")
 
 
 # --------------------------------------------------------------------------- #
-# script entry point (CI perf-smoke step, local runs)
+# script entry point (local runs; CI uses `repro bench run core`)
 # --------------------------------------------------------------------------- #
 def main(argv=None) -> int:
+    from repro.perf import compare_with_committed, format_compare, run_registered
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small-scale run (the CI perf-smoke configuration)",
+        help="small-scale run (the CI perf-smoke configuration, the default)",
     )
     parser.add_argument(
         "--full", action="store_true", help="full-scale run (larger graphs)"
@@ -301,15 +60,23 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-gate",
         action="store_true",
-        help="measure and write the record without enforcing the gates",
+        help="measure without comparing against the committed baseline",
     )
     args = parser.parse_args(argv)
     scale = "full" if args.full else "small"
-    record = run_benchmark(scale)
-    _print_summary(record)
-    if args.no_gate:
-        return 0
-    problems = enforce_gates(record)
+    outcome = run_registered("core", scale)
+    print(outcome.summary())
+    problems = list(outcome.problems)
+    if not args.no_gate:
+        _, compare_problems, deltas = compare_with_committed(
+            outcome.record, RECORDS_DIR
+        )
+        if deltas:
+            print("vs committed baseline:")
+            print(format_compare(deltas))
+        problems = [
+            p for p in problems if not any(p in cp for cp in compare_problems)
+        ] + compare_problems
     for problem in problems:
         print(f"GATE FAILURE: {problem}", file=sys.stderr)
     return 1 if problems else 0

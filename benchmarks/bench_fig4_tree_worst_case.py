@@ -25,11 +25,6 @@ from repro.workloads import tree_dfg
 PAPER_CONSTRAINTS = Constraints(max_inputs=4, max_outputs=2)
 
 SMALL_DEPTHS = (2, 3, 4)
-FULL_DEPTHS = (2, 3, 4, 5)
-
-
-def _depths(scale: str):
-    return FULL_DEPTHS if scale == "full" else SMALL_DEPTHS
 
 
 @pytest.mark.parametrize("depth", SMALL_DEPTHS)
@@ -46,40 +41,11 @@ def test_fig4_exhaustive_on_tree(benchmark, depth):
     assert len(result) > 0
 
 
-def test_fig4_growth_table(bench_scale, capsys):
-    """Work-counter growth across tree depths (the shape the figure demonstrates)."""
-    rows = []
-    previous = None
-    for depth in _depths(bench_scale):
-        graph = tree_dfg(depth)
-        poly = enumerate_cuts(graph, PAPER_CONSTRAINTS)
-        exhaustive = enumerate_cuts_exhaustive(graph, PAPER_CONSTRAINTS)
-        poly_work = poly.stats.lt_calls + poly.stats.candidates_checked
-        exhaustive_work = exhaustive.stats.pick_output_calls
-        row = {
-            "depth": depth,
-            "nodes": graph.num_nodes,
-            "cuts": len(exhaustive),
-            "poly_work": poly_work,
-            "poly_seconds": poly.stats.elapsed_seconds,
-            "exhaustive_search_nodes": exhaustive_work,
-            "exhaustive_seconds": exhaustive.stats.elapsed_seconds,
-        }
-        if previous is not None:
-            row["poly_work_growth"] = round(poly_work / previous["poly_work"], 2)
-            row["exhaustive_growth"] = round(
-                exhaustive_work / previous["exhaustive_search_nodes"], 2
-            )
-        rows.append(row)
-        previous = row
-        # Both algorithms must agree on the tree (completeness sanity check).
-        assert poly.node_sets() == exhaustive.node_sets()
-
-    from repro.analysis import format_table
-
-    with capsys.disabled():
-        print()
-        print("=" * 72)
-        print("FIG4: growth on tree-shaped worst-case DFGs (Nin=4, Nout=2)")
-        print("=" * 72)
-        print(format_table(rows, columns=list(rows[-1].keys())))
+def test_fig4_growth_table(bench_harness):
+    """Work-counter growth across tree depths (the shape the figure
+    demonstrates).  The measurement body — per-depth poly vs exhaustive
+    enumeration with cut-set agreement asserted, growth ratios taken from
+    the machine-independent work counters — lives in
+    ``repro.perf.suites.paper`` (benchmark name ``fig4_tree_worst_case``).
+    """
+    bench_harness("fig4_tree_worst_case")

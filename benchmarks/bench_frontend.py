@@ -1,98 +1,21 @@
-"""BENCH-FRONTEND — Compiler frontend: corpus size, DFG build throughput, ISE wall time.
+"""BENCH-FRONTEND — Compiler frontend: corpus size, DFG throughput, ISE wall time.
 
-The frontend turns plain Python functions into enumerable basic blocks:
-bytecode decode → CFG recovery → abstract-stack DFG translation → line-event
-profiling.  This benchmark records, for the bundled reference corpus:
+Records, for the bundled reference corpus: corpus shape (a shrinking corpus
+or a translation regression shows up in the artifact diff), bytecode→DFG
+translation throughput, profiling overhead, and the end-to-end
+``corpus → enumerate → score → select`` pipeline wall time.  The resulting
+application speedup must stay above 1.0 and the pipeline must keep selecting
+instructions (``gate_min`` on ``ise_application_speedup`` and
+``ise_selected_instructions``).
 
-* **corpus shape** — kernels, basic blocks with operations, total operation
-  vertices (so a shrinking corpus or a translation regression is visible in
-  the artifact diff);
-* **DFG build throughput** — repeated bytecode→DFG translations per second
-  and operation vertices emitted per second (the frontend must stay far
-  cheaper than the enumeration it feeds);
-* **profiling overhead** — translate-only vs. translate+profile wall time;
-* **end-to-end ISE wall time** — the full `corpus → enumerate → score →
-  select` pipeline, plus the resulting application speedup (asserted > 1.0:
-  the corpus must keep yielding profitable custom instructions).
-
-Results land in ``BENCH_frontend.json``.
+The measurement body and gates live in the unified harness
+(``repro.perf.suites.frontend``, benchmark name ``frontend``); this script
+is the pytest entry point.  Refresh the committed baseline with
+``repro bench run frontend --write-records``.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import platform
-import time
-from pathlib import Path
 
-from repro.core import Constraints
-from repro.frontend import (
-    CORPUS,
-    build_corpus_suite,
-    corpus_block_profiles,
-    corpus_names,
-    function_to_dfgs,
-)
-from repro.ise.pipeline import identify_instruction_set_extension
-
-RESULT_PATH = Path(__file__).resolve().parent / "BENCH_frontend.json"
-
-#: The paper's experimental constraints.
-CONSTRAINTS = Constraints(max_inputs=4, max_outputs=2)
-
-
-def test_frontend_corpus_throughput_and_ise(bench_scale):
-    names = corpus_names()
-    build_rounds = 5 if bench_scale == "small" else 25
-
-    # --- corpus shape ------------------------------------------------------ #
-    start = time.perf_counter()
-    suite = build_corpus_suite(profile=True)
-    profiled_build_seconds = time.perf_counter() - start
-    total_ops = sum(len(g.operation_nodes()) for g in suite)
-    assert len(suite) >= 10
-
-    # --- DFG build throughput (translate-only, repeated) ------------------- #
-    start = time.perf_counter()
-    translations = 0
-    ops_emitted = 0
-    for _ in range(build_rounds):
-        for name in names:
-            dfgs = function_to_dfgs(CORPUS[name].fn)
-            translations += len(dfgs.blocks)
-            ops_emitted += sum(e.num_operations for e in dfgs.blocks)
-    translate_seconds = time.perf_counter() - start
-    blocks_per_second = translations / max(translate_seconds, 1e-9)
-    ops_per_second = ops_emitted / max(translate_seconds, 1e-9)
-
-    # --- end-to-end ISE over the profiled corpus --------------------------- #
-    blocks = corpus_block_profiles(profile=True)
-    start = time.perf_counter()
-    result = identify_instruction_set_extension(
-        blocks, CONSTRAINTS, application_name="frontend-corpus"
-    )
-    ise_seconds = time.perf_counter() - start
-    selected = sum(len(block.selected) for block in result.blocks)
-    assert selected >= 1, "the corpus must yield at least one custom instruction"
-    assert result.application_speedup > 1.0
-
-    record = {
-        "benchmark": "frontend",
-        "scale": bench_scale,
-        "corpus_kernels": len(names),
-        "corpus_blocks": len(suite),
-        "corpus_operations": total_ops,
-        "profiled_build_seconds": round(profiled_build_seconds, 4),
-        "translate_rounds": build_rounds,
-        "dfg_blocks_per_second": round(blocks_per_second, 1),
-        "dfg_ops_per_second": round(ops_per_second, 1),
-        "ise_blocks": len(blocks),
-        "ise_seconds": round(ise_seconds, 4),
-        "ise_selected_instructions": selected,
-        "ise_application_speedup": round(result.application_speedup, 3),
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-    }
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+def test_frontend_corpus_throughput_and_ise(bench_harness):
+    bench_harness("frontend")

@@ -1,155 +1,20 @@
 """BENCH-MEMO — Canonical-form memoization: hit rate and warm-run speedup.
 
-Real applications repeat themselves: unrolled loop bodies, inlined helpers
-and recurring idioms produce many structurally identical basic blocks.  This
-benchmark drives a suite full of duplicated *and permuted* blocks through the
-engine three ways:
+Drives a suite full of duplicated *and permuted* blocks through the engine
+uncached, cold-cache, warm-cache and isomorphism-dedup; every path must
+produce cut sets bit-identical to the uncached run (asserted).  The warm run
+must observe a 100% hit rate (``gate_min`` on ``warm_hit_rate``) and beat
+the uncached run by at least 2x (``gate_min`` on ``warm_speedup`` — the
+ROADMAP bar).
 
-* **uncached** — the baseline sequential run;
-* **cold cache** — first run against an empty :class:`repro.memo.ResultStore`
-  (pays canonicalization + write-back on top of enumeration);
-* **warm cache** — second run against the populated store (every block is a
-  lookup + mask remap);
-
-plus an **isomorphism-dedup** run (one enumeration per class, masks remapped
-onto every member).  It asserts that every path produces cut sets
-bit-identical to the uncached run, records hit rate and speedups to
-``BENCH_memo.json``, and asserts the ISSUE's >= 2x warm-run bar.
+The measurement body and gates live in the unified harness
+(``repro.perf.suites.engine``, benchmark name ``memo``); this script is the
+pytest entry point.  Refresh the committed baseline with
+``repro bench run memo --write-records``.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import platform
-import time
-from pathlib import Path
 
-from repro.core import Constraints
-from repro.engine import BatchRunner
-from repro.memo import ResultStore, enumerate_deduplicated, permute_graph
-from repro.workloads.kernels import build_kernel
-from repro.workloads.synthetic import SyntheticBlockSpec, generate_basic_block
-
-RESULT_PATH = Path(__file__).resolve().parent / "BENCH_memo.json"
-
-#: The paper's experimental constraints.
-CONSTRAINTS = Constraints(max_inputs=4, max_outputs=2)
-
-
-def _duplicated_suite(scale: str):
-    """Blocks with duplicated and permuted copies, like unrolled real code."""
-    num_bases = 4 if scale == "small" else 8
-    operations = 18 if scale == "small" else 28
-    copies = 3 if scale == "small" else 4
-
-    bases = [build_kernel("crc32_step"), build_kernel("bitcount")]
-    bases += [
-        generate_basic_block(
-            SyntheticBlockSpec(num_operations=operations, seed=seed)
-        )
-        for seed in range(num_bases - len(bases))
-    ]
-
-    blocks = []
-    for base in bases:
-        blocks.append(base)
-        for copy in range(copies):
-            # Deterministic relabeling derived from the copy index (rotate by
-            # copy+1), so the suite is reproducible run to run.
-            shift = copy + 1
-            permutation = [
-                (v + shift) % base.num_nodes for v in range(base.num_nodes)
-            ]
-            blocks.append(
-                permute_graph(base, permutation, name=f"{base.name}_copy{copy}")
-            )
-    return blocks, len(bases)
-
-
-def _cut_sets(report):
-    return [item.result.node_sets() for item in report.items]
-
-
-def test_memo_hit_rate_and_warm_speedup(bench_scale, tmp_path, capsys):
-    blocks, num_classes = _duplicated_suite(bench_scale)
-    cache_dir = tmp_path / "memo-cache"
-
-    # --- uncached baseline ------------------------------------------------ #
-    start = time.perf_counter()
-    uncached = BatchRunner(constraints=CONSTRAINTS).run(blocks)
-    uncached_seconds = time.perf_counter() - start
-    assert all(item.ok for item in uncached.items)
-    reference = _cut_sets(uncached)
-
-    # --- cold run (empty store) ------------------------------------------- #
-    cold_store = ResultStore(cache_dir)
-    start = time.perf_counter()
-    cold = BatchRunner(constraints=CONSTRAINTS, store=cold_store).run(blocks)
-    cold_seconds = time.perf_counter() - start
-    assert _cut_sets(cold) == reference
-
-    # --- warm run (populated store) --------------------------------------- #
-    warm_store = ResultStore(cache_dir)
-    start = time.perf_counter()
-    warm = BatchRunner(constraints=CONSTRAINTS, store=warm_store).run(blocks)
-    warm_seconds = time.perf_counter() - start
-    assert _cut_sets(warm) == reference
-    assert all(item.cached for item in warm.items)
-    assert warm_store.stats.hit_rate == 1.0
-
-    # --- isomorphism dedup (no store) ------------------------------------- #
-    start = time.perf_counter()
-    dedup = enumerate_deduplicated(blocks, constraints=CONSTRAINTS)
-    dedup_seconds = time.perf_counter() - start
-    assert [item.result.node_sets() for item in dedup.items] == reference
-    assert dedup.num_classes == num_classes
-
-    warm_speedup = uncached_seconds / max(warm_seconds, 1e-9)
-    dedup_speedup = uncached_seconds / max(dedup_seconds, 1e-9)
-    # The ISSUE's acceptance bar: a warm cache must beat recomputation 2x+.
-    assert warm_speedup >= 2.0, (
-        f"warm cache run only {warm_speedup:.2f}x faster than uncached "
-        f"({warm_seconds:.3f}s vs {uncached_seconds:.3f}s)"
-    )
-
-    record = {
-        "benchmark": "memo_store_and_dedup",
-        "scale": bench_scale,
-        "blocks": len(blocks),
-        "isomorphism_classes": num_classes,
-        "total_cuts": uncached.total_cuts(),
-        "constraints": {"max_inputs": 4, "max_outputs": 2},
-        "uncached_seconds": round(uncached_seconds, 4),
-        # The cold cached run already dedups within the batch (one search
-        # per isomorphism class), so it typically beats the uncached run too.
-        "cold_cache_seconds": round(cold_seconds, 4),
-        "cold_speedup": round(uncached_seconds / max(cold_seconds, 1e-9), 3),
-        "warm_cache_seconds": round(warm_seconds, 4),
-        "dedup_seconds": round(dedup_seconds, 4),
-        "warm_speedup": round(warm_speedup, 3),
-        "dedup_speedup": round(dedup_speedup, 3),
-        "warm_hit_rate": warm_store.stats.hit_rate,
-        "dedup_saved_runs": dedup.saved_runs,
-        "bit_identical": True,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-    }
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
-
-    with capsys.disabled():
-        print()
-        print("=" * 72)
-        print("BENCH-MEMO: canonical-form memoization")
-        print("=" * 72)
-        print(
-            f"{len(blocks)} blocks in {num_classes} isomorphism classes, "
-            f"{record['total_cuts']} cuts"
-        )
-        print(
-            f"uncached {uncached_seconds:.3f}s | cold cache {cold_seconds:.3f}s | "
-            f"warm cache {warm_seconds:.3f}s ({warm_speedup:.1f}x) | "
-            f"dedup {dedup_seconds:.3f}s ({dedup_speedup:.1f}x)"
-        )
-        print(f"record written to {RESULT_PATH.name}")
+def test_memo_hit_rate_and_warm_speedup(bench_harness):
+    bench_harness("memo")

@@ -1,159 +1,21 @@
 """BENCH-OBS — Observability overhead: enabled vs disabled instrumentation.
 
-The observability layer (``repro.obs``) promises to be free when off — every
-instrumentation site calls through no-op stubs — and near-free when on: the
-metrics registry is dict increments and the tracer appends plain dicts, both
-far cheaper than the enumeration work they wrap.  This benchmark prices that
-promise on the frontend corpus:
+Prices the ``repro.obs`` promise on the frontend corpus: a live registry +
+tracer during a sequential run must cost < 3% over the disabled state
+(``gate_max`` on ``obs_overhead``); the forced-pool overhead (worker spans
+shipped back across the chunk wire) is recorded for the trend but not gated
+(the pool's own dispatch overhead dominates and is gated in BENCH-BATCH).
+The enabled run's span log is schema-validated and named spans must account
+for at least 95% of the batch root span (``gate_min`` on ``span_coverage``).
 
-* **disabled** — the default state; this is the number every other benchmark
-  in this directory measures, so it doubles as a regression sentinel for the
-  instrumentation hooks themselves;
-* **enabled (sequential)** — a live registry + tracer during a ``jobs=1``
-  run must cost **< 3%** over disabled.  Enforced as a hard gate here and
-  re-checked from ``BENCH_obs.json`` in CI;
-* **enabled (forced pool)** — the worker-side spans and the snapshot ship
-  back across the chunk wire; recorded for the trend, not gated (the pool's
-  own dispatch overhead dominates and is gated in BENCH-BATCH).
-
-The enabled run's span log is also checked for schema validity and for the
-run report's headline guarantee: named spans must account for ≥ 95% of the
-batch root span.
+The measurement body and gates live in the unified harness
+(``repro.perf.suites.engine``, benchmark name ``obs``); this script is the
+pytest entry point.  Refresh the committed baseline with
+``repro bench run obs --write-records``.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import platform
-import time
-from pathlib import Path
 
-from repro.core import Constraints
-from repro.engine import BatchRunner
-from repro.frontend import build_corpus_suite
-from repro.obs import runtime as obs_runtime, span_coverage, validate_trace_records
-
-RESULT_PATH = Path(__file__).resolve().parent / "BENCH_obs.json"
-
-#: The paper's experimental constraints.
-CONSTRAINTS = Constraints(max_inputs=4, max_outputs=2)
-
-#: The instrumentation-overhead gate: a live registry + tracer may cost at
-#: most this fraction over the uninstrumented sequential run.
-MAX_OBS_OVERHEAD = 0.03
-
-#: Timed repetitions; the minimum is reported, as usual for micro-benchmarks.
-#: Higher than the other benches: the gate is a 3% delta between two ~0.15s
-#: runs, so the minima need more samples to converge under machine jitter.
-REPEATS = 7
-
-
-def _interleaved_best(runner: BatchRunner, graphs, repeats: int = REPEATS):
-    """Minimum wall-clock of disabled and enabled runs, interleaved.
-
-    One un-timed warm-up run first (context caches, worker-resident state),
-    then each repetition times a disabled run followed by an enabled run with
-    fresh recorders — interleaving cancels machine drift that would otherwise
-    bias whichever configuration happens to run last.  Returns
-    ``(disabled_seconds, enabled_seconds, trace_records)`` with the records
-    of the fastest enabled repeat.
-    """
-    runner.run(graphs)
-    disabled = enabled = float("inf")
-    best_records = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        runner.run(graphs)
-        disabled = min(disabled, time.perf_counter() - start)
-
-        _registry, recorder = obs_runtime.activate()
-        start = time.perf_counter()
-        runner.run(graphs)
-        elapsed = time.perf_counter() - start
-        records = recorder.records
-        obs_runtime.deactivate()
-        if elapsed < enabled:
-            enabled, best_records = elapsed, records
-    return disabled, enabled, best_records
-
-
-def test_observability_overhead(bench_scale, capsys):
-    corpus = list(build_corpus_suite())
-    obs_runtime.deactivate()
-
-    # --- sequential: disabled vs enabled (the <3% gate) ------------------- #
-    with BatchRunner(constraints=CONSTRAINTS, jobs=1) as runner:
-        disabled_seconds, enabled_seconds, records = _interleaved_best(
-            runner, corpus
-        )
-    overhead = enabled_seconds / max(disabled_seconds, 1e-9) - 1.0
-    assert overhead < MAX_OBS_OVERHEAD, (
-        f"observability overhead {overhead:.1%} exceeds the "
-        f"{MAX_OBS_OVERHEAD:.0%} gate (disabled {disabled_seconds:.4f}s, "
-        f"enabled {enabled_seconds:.4f}s)"
-    )
-
-    # --- the enabled run's telemetry is well-formed and accounts for the - #
-    # --- run: schema-valid spans covering >= 95% of the batch root ------- #
-    assert validate_trace_records(records) == []
-    coverage = span_coverage(records)
-    assert coverage is not None
-    assert coverage["coverage"] >= 0.95, (
-        f"named spans cover only {coverage['coverage']:.1%} of the "
-        f"{coverage['root']} root span"
-    )
-
-    # --- forced pool: worker snapshots across the wire (recorded only) --- #
-    with BatchRunner(constraints=CONSTRAINTS, jobs=1, force_pool=True) as runner:
-        runner.warm_pool()
-        pool_disabled_seconds, pool_enabled_seconds, pool_records = (
-            _interleaved_best(runner, corpus)
-        )
-    pool_overhead = pool_enabled_seconds / max(pool_disabled_seconds, 1e-9) - 1.0
-    assert validate_trace_records(pool_records) == []
-    worker_spans = sum(1 for r in pool_records if r["name"] == "worker.block")
-    assert worker_spans == len(corpus)
-
-    # --- record ----------------------------------------------------------- #
-    record = {
-        "benchmark": "observability_overhead",
-        "scale": bench_scale,
-        "corpus_blocks": len(corpus),
-        "constraints": {"max_inputs": 4, "max_outputs": 2},
-        "repeats": REPEATS,
-        "disabled_seconds": round(disabled_seconds, 4),
-        "enabled_seconds": round(enabled_seconds, 4),
-        "obs_overhead": round(overhead, 4),
-        "max_obs_overhead": MAX_OBS_OVERHEAD,
-        "span_coverage": round(coverage["coverage"], 4),
-        "pool_disabled_seconds": round(pool_disabled_seconds, 4),
-        "pool_enabled_seconds": round(pool_enabled_seconds, 4),
-        "pool_obs_overhead": round(pool_overhead, 4),
-        "worker_spans": worker_spans,
-        "cpu_count": os.cpu_count() or 1,
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-    }
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
-
-    with capsys.disabled():
-        print()
-        print("=" * 72)
-        print("BENCH-OBS: instrumentation overhead, enabled vs disabled")
-        print("=" * 72)
-        print(
-            f"frontend corpus ({len(corpus)} blocks), sequential: "
-            f"disabled {disabled_seconds:.4f}s, enabled {enabled_seconds:.4f}s "
-            f"-> overhead {overhead:+.1%} (gate <{MAX_OBS_OVERHEAD:.0%})"
-        )
-        print(
-            f"forced pool jobs=1: disabled {pool_disabled_seconds:.4f}s, "
-            f"enabled {pool_enabled_seconds:.4f}s -> overhead "
-            f"{pool_overhead:+.1%} (recorded, not gated)"
-        )
-        print(
-            f"named-span coverage of the batch root: "
-            f"{coverage['coverage']:.1%} (gate >=95%)"
-        )
-        print(f"record written to {RESULT_PATH.name}")
+def test_observability_overhead(bench_harness):
+    bench_harness("obs")

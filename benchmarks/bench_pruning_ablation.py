@@ -13,17 +13,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import FULL_PRUNING, NO_PRUNING, Constraints, PruningConfig, enumerate_cuts
+from repro.core import FULL_PRUNING, NO_PRUNING, Constraints, enumerate_cuts
 from repro.workloads import SuiteConfig, build_suite
-
-
-PRUNING_FLAGS = (
-    "output_output",
-    "prune_while_building",
-    "output_input",
-    "input_input",
-    "connected_recovery",
-)
 
 
 def _workload(scale: str):
@@ -44,20 +35,6 @@ def ablation_workload(bench_scale):
     return _workload(bench_scale)
 
 
-def _total_work(workload, pruning: PruningConfig):
-    lt_calls = 0
-    candidates = 0
-    cuts = 0
-    seconds = 0.0
-    for graph in workload:
-        result = enumerate_cuts(graph, PAPER_CONSTRAINTS, pruning=pruning)
-        lt_calls += result.stats.lt_calls
-        candidates += result.stats.candidates_checked
-        cuts += len(result)
-        seconds += result.stats.elapsed_seconds
-    return {"lt_calls": lt_calls, "candidates": candidates, "cuts": cuts, "seconds": seconds}
-
-
 @pytest.mark.parametrize("configuration", ["full_pruning", "no_pruning"])
 def test_pruning_end_to_end(benchmark, ablation_workload, configuration):
     pruning = FULL_PRUNING if configuration == "full_pruning" else NO_PRUNING
@@ -65,38 +42,11 @@ def test_pruning_end_to_end(benchmark, ablation_workload, configuration):
     benchmark(lambda: enumerate_cuts(graph, PAPER_CONSTRAINTS, pruning=pruning))
 
 
-def test_pruning_ablation_table(ablation_workload, capsys):
-    rows = []
-    baseline = _total_work(ablation_workload, FULL_PRUNING)
-    rows.append({"configuration": "all prunings", **baseline, "slowdown_vs_full": 1.0})
-    for flag in PRUNING_FLAGS:
-        work = _total_work(ablation_workload, FULL_PRUNING.disable(flag))
-        rows.append(
-            {
-                "configuration": f"without {flag}",
-                **work,
-                "slowdown_vs_full": round(work["seconds"] / max(baseline["seconds"], 1e-9), 2),
-            }
-        )
-    nothing = _total_work(ablation_workload, NO_PRUNING)
-    rows.append(
-        {
-            "configuration": "no pruning (plain Figure 3)",
-            **nothing,
-            "slowdown_vs_full": round(nothing["seconds"] / max(baseline["seconds"], 1e-9), 2),
-        }
-    )
-
-    from repro.analysis import format_table
-
-    with capsys.disabled():
-        print()
-        print("=" * 72)
-        print("TAB-PRUNE: pruning-rule ablation (totals over the ablation workload)")
-        print("=" * 72)
-        print(format_table(rows))
-
-    # Pruning must never increase the amount of work, and the full
-    # configuration must beat the bare algorithm clearly.
-    assert baseline["lt_calls"] <= nothing["lt_calls"]
-    assert baseline["candidates"] <= nothing["candidates"]
+def test_pruning_ablation_table(bench_harness):
+    """The full ablation — each rule disabled in isolation plus the
+    no-pruning run, with pruning asserted never to increase the work
+    counters — lives in ``repro.perf.suites.paper`` (benchmark name
+    ``pruning_ablation``); the end-to-end micro timings above remain
+    pytest-benchmark tests.
+    """
+    bench_harness("pruning_ablation")

@@ -1,153 +1,21 @@
 """BENCH-STREAMING — Streaming scheduler: throughput, latency, timeout accounting.
 
-The batch layer's streaming rewrite replaced submit-all/collect-in-order with
-a bounded-window, as-completed scheduler whose per-block deadlines are
-measured from actual task start.  This benchmark drives a suite with more
-blocks than workers (``jobs < blocks`` — the regime where the old accounting
-charged pool-queue wait against a block's own budget) and records:
+Drives a suite with more blocks than workers (``jobs < blocks`` — the regime
+where the old accounting charged pool-queue wait against a block's own
+budget) and records sequential vs. streamed throughput, time-to-first-result
+vs. the barrier a full batch would impose, and the false-timeout rate, which
+must be exactly zero with a generous per-block budget (``gate_max`` on
+``false_timeout_rate``).  Streamed results are asserted bit-identical to the
+sequential run, in discovery order.
 
-* **throughput** — blocks/second, sequential vs. streamed parallel;
-* **time-to-first-result** — how quickly ``iter_run`` hands the consumer the
-  first finished block, vs. the full-batch wall time a barrier would impose;
-* **false-timeout rate** — with a per-block budget several times the slowest
-  block's runtime, a correct scheduler flags *zero* blocks no matter how
-  long the suite queues (asserted, and recorded as 0.0);
-* **bit-identity** — the streamed parallel results match the sequential run
-  cut for cut, in discovery order.
-
-Results land in ``BENCH_streaming.json``.
+The measurement body and gates live in the unified harness
+(``repro.perf.suites.engine``, benchmark name ``streaming``); this script is
+the pytest entry point.  Refresh the committed baseline with
+``repro bench run streaming --write-records``.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import platform
-import time
-from pathlib import Path
 
-from repro.core import Constraints
-from repro.engine import BatchRunner
-from repro.workloads.synthetic import SyntheticBlockSpec, generate_basic_block
-
-RESULT_PATH = Path(__file__).resolve().parent / "BENCH_streaming.json"
-
-#: The paper's experimental constraints.
-CONSTRAINTS = Constraints(max_inputs=4, max_outputs=2)
-
-#: Workers for the parallel runs: deliberately fewer than blocks.
-JOBS = 2
-
-
-def _suite(scale: str):
-    num_blocks = 12 if scale == "small" else 24
-    operations = 14 if scale == "small" else 24
-    return [
-        generate_basic_block(
-            SyntheticBlockSpec(num_operations=operations, seed=seed)
-        )
-        for seed in range(num_blocks)
-    ]
-
-
-def _cut_keys(result):
-    return [
-        (cut.sorted_nodes(), tuple(sorted(cut.inputs)), tuple(sorted(cut.outputs)))
-        for cut in result.cuts
-    ]
-
-
-def test_streaming_scheduler_throughput_and_timeout_accounting(bench_scale, capsys):
-    blocks = _suite(bench_scale)
-
-    # --- sequential baseline ---------------------------------------------- #
-    start = time.perf_counter()
-    sequential = BatchRunner(constraints=CONSTRAINTS, jobs=1).run(blocks)
-    sequential_seconds = time.perf_counter() - start
-    assert all(item.ok for item in sequential.items)
-
-    # --- streamed parallel run -------------------------------------------- #
-    # warm_pool() takes worker spawn out of the timing: the persistent pool
-    # is the steady-state configuration this benchmark tracks.
-    with BatchRunner(constraints=CONSTRAINTS, jobs=JOBS) as runner:
-        runner.warm_pool()
-        chunk_capacity = runner._chunk_capacity(len(blocks))
-        start = time.perf_counter()
-        first_result_seconds = None
-        streamed = []
-        for item in runner.iter_run(blocks):
-            if first_result_seconds is None:
-                first_result_seconds = time.perf_counter() - start
-            streamed.append(item)
-        streamed_seconds = time.perf_counter() - start
-    streamed.sort(key=lambda item: item.index)
-    assert all(item.ok for item in streamed)
-
-    # Bit-identical to the sequential run, discovery order included.
-    for seq_item, par_item in zip(sequential.items, streamed):
-        assert _cut_keys(seq_item.result) == _cut_keys(par_item.result)
-
-    # --- timeout accounting at jobs < blocks ------------------------------- #
-    # Budget: comfortably above the slowest single block, far below the
-    # whole suite's queue depth per worker.  The old submit-all collector
-    # charged queue wait to the block; the streaming scheduler must flag
-    # nothing.
-    slowest = max(item.elapsed_seconds for item in sequential.items)
-    budget = max(10.0 * slowest, 0.25)
-    with BatchRunner(constraints=CONSTRAINTS, jobs=JOBS, timeout=budget) as timed_runner:
-        timed = timed_runner.run(blocks)
-    false_timeouts = [item for item in timed.items if item.timed_out]
-    assert not false_timeouts, (
-        f"{len(false_timeouts)} healthy block(s) flagged timed out under a "
-        f"{budget:.2f}s budget (slowest block: {slowest:.3f}s): "
-        f"{[item.graph_name for item in false_timeouts]}"
-    )
-    assert all(item.ok for item in timed.items)
-
-    throughput_seq = len(blocks) / max(sequential_seconds, 1e-9)
-    throughput_streamed = len(blocks) / max(streamed_seconds, 1e-9)
-
-    record = {
-        "benchmark": "streaming_scheduler",
-        "scale": bench_scale,
-        "blocks": len(blocks),
-        "jobs": JOBS,
-        "chunk_size": "auto",
-        "chunk_capacity": chunk_capacity,
-        "constraints": {"max_inputs": 4, "max_outputs": 2},
-        "total_cuts": sequential.total_cuts(),
-        "sequential_seconds": round(sequential_seconds, 4),
-        "streamed_seconds": round(streamed_seconds, 4),
-        "throughput_sequential_blocks_per_s": round(throughput_seq, 2),
-        "throughput_streamed_blocks_per_s": round(throughput_streamed, 2),
-        "parallel_speedup": round(sequential_seconds / max(streamed_seconds, 1e-9), 3),
-        "first_result_seconds": round(first_result_seconds, 4),
-        "first_result_vs_barrier": round(
-            first_result_seconds / max(streamed_seconds, 1e-9), 3
-        ),
-        "timeout_budget_seconds": round(budget, 4),
-        "slowest_block_seconds": round(slowest, 4),
-        "false_timeout_rate": 0.0,
-        "bit_identical": True,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-    }
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
-
-    with capsys.disabled():
-        print()
-        print("=" * 72)
-        print("BENCH-STREAMING: streaming batch scheduler")
-        print("=" * 72)
-        print(
-            f"{len(blocks)} blocks, jobs={JOBS}: sequential "
-            f"{sequential_seconds:.3f}s ({throughput_seq:.1f} blk/s) | "
-            f"streamed {streamed_seconds:.3f}s ({throughput_streamed:.1f} blk/s)"
-        )
-        print(
-            f"first result after {first_result_seconds:.3f}s "
-            f"({100 * record['first_result_vs_barrier']:.0f}% of the barrier wait); "
-            f"0 false timeouts under a {budget:.2f}s budget"
-        )
-        print(f"record written to {RESULT_PATH.name}")
+def test_streaming_scheduler_throughput_and_timeout_accounting(bench_harness):
+    bench_harness("streaming")

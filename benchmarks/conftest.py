@@ -33,3 +33,44 @@ def pytest_addoption(parser):
 def bench_scale(request) -> str:
     """Benchmark scale selected on the command line."""
     return request.config.getoption("--bench-scale")
+
+
+@pytest.fixture
+def bench_harness(bench_scale, capsys):
+    """Run one registered benchmark through the unified harness and gate it.
+
+    The measurement bodies and their metric declarations live in
+    ``repro.perf.suites``; the scripts in this directory are thin pytest
+    entry points.  The returned callable runs the named benchmark at the
+    session's ``--bench-scale``, compares the record against the committed
+    ``BENCH_<name>.json`` baseline (absolute gates plus noise-aware
+    regression verdicts — the same check ``repro bench run
+    --compare-against-committed`` applies in CI), prints the summary and
+    asserts that nothing failed.
+    """
+    from pathlib import Path
+
+    from repro.perf import compare_with_committed, format_compare, run_registered
+
+    records_dir = Path(__file__).resolve().parent
+
+    def run(name: str):
+        outcome = run_registered(name, bench_scale)
+        _, compare_problems, deltas = compare_with_committed(
+            outcome.record, records_dir
+        )
+        # compare_problems repeats the absolute-gate findings (prefixed with
+        # the benchmark name); keep each finding once.
+        problems = [
+            p for p in outcome.problems if not any(p in cp for cp in compare_problems)
+        ] + compare_problems
+        with capsys.disabled():
+            print()
+            print(outcome.summary())
+            if deltas:
+                print("vs committed baseline:")
+                print(format_compare(deltas))
+        assert not problems, "; ".join(problems)
+        return outcome
+
+    return run

@@ -22,6 +22,14 @@ Sub-commands
 ``metrics``
     Pretty-print the run report of a ``--metrics-json`` document (optionally
     with its matching ``--trace`` file for span accounting).
+``bench``
+    The unified benchmark harness (``repro.perf``): ``bench run`` executes
+    registered benchmarks and appends to the ``BENCH_history.jsonl`` ledger,
+    ``bench compare`` gates fresh records against baselines, ``bench
+    history`` renders the perf trajectory, ``bench list`` shows the
+    registry, ``bench env`` prints the environment fingerprint.  Human
+    progress goes to stderr, so ``bench run --json -`` emits machine-
+    parseable JSON on stdout.
 
 Targets: wherever a kernel name or DFG JSON file is accepted, a Python
 source target ``file.py::function`` is too (the function's largest basic
@@ -753,6 +761,251 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+# --------------------------------------------------------------------------- #
+# bench sub-command (the unified harness in repro.perf)
+# --------------------------------------------------------------------------- #
+def _bench_echo(message: str) -> None:
+    """Human progress for ``bench``: always stderr, so ``--json -`` stdout
+    stays machine-parseable."""
+    print(message, file=sys.stderr, flush=True)
+
+
+def _bench_ledger_path(args: argparse.Namespace):
+    from .perf import LEDGER_NAME
+
+    if getattr(args, "no_ledger", False):
+        return None
+    if getattr(args, "ledger", None):
+        return Path(args.ledger)
+    return Path(args.records_dir) / LEDGER_NAME
+
+
+def _bench_metric_line(record) -> str:
+    """The gated/directional metrics of a record, one compact line."""
+    shown = [
+        f"{name}={value.value:g}{(' ' + value.unit) if value.unit else ''}"
+        for name, value in sorted(record.metrics.items())
+        if value.better != "none"
+    ]
+    return ", ".join(shown)
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from . import perf
+
+    try:
+        if args.names:
+            names = [perf.get_benchmark(name).name for name in args.names]
+        else:
+            names = perf.benchmark_names(args.suite)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+    if not names:
+        raise SystemExit(
+            f"no benchmarks in suite {args.suite!r} "
+            f"(suites: {', '.join(perf.suite_names())})"
+        )
+
+    records_dir = Path(args.records_dir)
+    outcomes = []
+    problems: dict = {}
+    for name in names:
+        _bench_echo(f"bench {name}: running (scale={args.scale}) ...")
+        try:
+            outcome = perf.run_registered(name, args.scale)
+        except Exception as exc:  # a broken benchmark must not kill the suite
+            problems[name] = [f"{type(exc).__name__}: {exc}"]
+            _bench_echo(f"bench {name}: ERROR {type(exc).__name__}: {exc}")
+            continue
+        outcomes.append(outcome)
+        bench_problems = list(outcome.problems)
+
+        if args.compare_against_committed:
+            baseline, compare_problems, deltas = perf.compare_with_committed(
+                outcome.record, records_dir
+            )
+            env_warnings = (
+                perf.comparability_warnings(baseline.env, outcome.record.env)
+                if baseline is not None
+                else []
+            )
+            if deltas:
+                _bench_echo(f"bench {name}: vs committed baseline")
+                _bench_echo(perf.format_compare(deltas, env_warnings))
+            # compare_problems repeats the absolute-gate findings (prefixed
+            # with the benchmark name); keep each finding once.
+            bench_problems = [
+                p
+                for p in bench_problems
+                if not any(p in cp for cp in compare_problems)
+            ] + compare_problems
+
+        status = "ok" if not bench_problems else "FAIL"
+        _bench_echo(
+            f"bench {name}: {status} in {outcome.seconds:.1f}s  "
+            f"{_bench_metric_line(outcome.record)}"
+        )
+        for problem in bench_problems:
+            _bench_echo(f"  problem: {problem}")
+        if bench_problems:
+            problems[name] = bench_problems
+
+    fresh_records = [outcome.record for outcome in outcomes]
+    ledger = _bench_ledger_path(args)
+    if ledger is not None and fresh_records:
+        # Seed with the committed legacy records first (idempotent: the
+        # ledger dedups on content), so history starts at the recorded
+        # trajectory instead of at this run.
+        seeded, _ = perf.append_records(
+            ledger, perf.ingest_legacy_directory(records_dir).values()
+        )
+        appended, deduplicated = perf.append_records(ledger, fresh_records)
+        _bench_echo(
+            f"ledger {ledger}: +{appended + seeded} record(s)"
+            + (f", {deduplicated} duplicate(s) skipped" if deduplicated else "")
+        )
+
+    if args.write_records:
+        records_dir.mkdir(parents=True, exist_ok=True)
+        for record in fresh_records:
+            path = records_dir / f"BENCH_{record.benchmark}.json"
+            path.write_text(
+                json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        _bench_echo(f"wrote {len(fresh_records)} record(s) to {records_dir}")
+
+    ok = not problems
+    if args.json:
+        document = {
+            "schema": "repro-bench-run-1",
+            "scale": args.scale,
+            "benchmarks": names,
+            "ok": ok,
+            "problems": problems,
+            "records": [record.to_dict() for record in fresh_records],
+        }
+        payload = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(args.json).write_text(payload, encoding="utf-8")
+            _bench_echo(f"run document: {args.json}")
+    if not ok:
+        _bench_echo(
+            f"bench run: {len(problems)} of {len(names)} benchmark(s) failed"
+        )
+    return 0 if ok else 1
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from . import perf
+
+    records_dir = Path(args.records_dir)
+    try:
+        if args.against_committed:
+            pairs = []
+            for path in args.records:
+                current = perf.load_record_file(path)
+                baseline, problems, deltas = perf.compare_with_committed(
+                    current, records_dir
+                )
+                pairs.append((current, baseline, problems, deltas))
+        else:
+            if len(args.records) != 2:
+                raise SystemExit(
+                    "bench compare needs exactly two record files (baseline "
+                    "current), or --against-committed with one or more "
+                    "current records"
+                )
+            baseline = perf.load_record_file(args.records[0])
+            current = perf.load_record_file(args.records[1])
+            if baseline.benchmark != current.benchmark:
+                raise SystemExit(
+                    f"records describe different benchmarks: "
+                    f"{baseline.benchmark!r} vs {current.benchmark!r}"
+                )
+            pairs = [
+                (
+                    current,
+                    baseline,
+                    perf.comparison_problems(baseline, current),
+                    perf.compare_records(baseline, current),
+                )
+            ]
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc))
+
+    failed = False
+    for current, baseline, problems, deltas in pairs:
+        env_warnings = (
+            perf.comparability_warnings(baseline.env, current.env)
+            if baseline is not None
+            else []
+        )
+        print(f"{current.benchmark} (scale={current.scale}):")
+        if deltas:
+            print(perf.format_compare(deltas, env_warnings))
+        for problem in problems:
+            print(f"  problem: {problem}")
+            failed = True
+        if not problems:
+            print("  ok: within gates and tolerances")
+    return 1 if failed else 0
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    from . import perf
+
+    ledger = (
+        Path(args.ledger)
+        if args.ledger
+        else Path(args.records_dir) / perf.LEDGER_NAME
+    )
+    records, parse_problems = perf.load_history(ledger)
+    for problem in parse_problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    if args.latest:
+        records = perf.latest_by_benchmark(records, args.benchmark)
+        print(perf.history_table(records, None))
+        return 0
+    print(perf.history_table(records, args.benchmark, limit=args.limit))
+    return 0
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from . import perf
+
+    names = perf.benchmark_names(args.suite)
+    if not names:
+        raise SystemExit(
+            f"no benchmarks in suite {args.suite!r} "
+            f"(suites: {', '.join(perf.suite_names())})"
+        )
+    for name in names:
+        bench = perf.get_benchmark(name)
+        gated = [
+            spec.name
+            for spec in bench.metrics
+            if spec.gate_min is not None
+            or spec.gate_max is not None
+            or spec.rel_tolerance is not None
+        ]
+        print(f"{name:24s} [{', '.join(bench.suites)}] {bench.title}")
+        print(
+            f"{'':24s} metrics: {len(bench.metrics)}, gated: "
+            f"{', '.join(gated) or '(none)'}"
+        )
+    return 0
+
+
+def _cmd_bench_env(args: argparse.Namespace) -> int:
+    from .perf import environment_fingerprint
+
+    print(json.dumps(environment_fingerprint(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_cache_clear(args: argparse.Namespace) -> int:
     store = _cache_store(args)
     removed = store.clear()
@@ -965,6 +1218,127 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_metrics.set_defaults(func=_cmd_metrics)
 
+    p_bench = subparsers.add_parser(
+        "bench",
+        help="run, compare and browse the unified benchmark harness "
+        "(repro.perf)",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    def _add_records_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--records-dir",
+            default="benchmarks",
+            help="directory of the committed BENCH_*.json records and the "
+            "history ledger (default: benchmarks)",
+        )
+
+    p_brun = bench_sub.add_parser(
+        "run", help="run registered benchmarks and append to the ledger"
+    )
+    p_brun.add_argument(
+        "names",
+        nargs="*",
+        help="benchmark names to run (default: every benchmark in --suite)",
+    )
+    p_brun.add_argument(
+        "--suite",
+        default="ci",
+        help="suite to run when no names are given (default: ci; "
+        "'all' runs everything)",
+    )
+    p_brun.add_argument(
+        "--scale",
+        choices=("small", "full"),
+        default="small",
+        help="workload tier (small is the CI configuration; default small)",
+    )
+    p_brun.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the run document (records + problems) as JSON; '-' "
+        "prints it to stdout with all progress on stderr",
+    )
+    p_brun.add_argument(
+        "--compare-against-committed",
+        action="store_true",
+        help="gate each fresh record against its committed "
+        "BENCH_<name>.json baseline (exit 1 on regression)",
+    )
+    p_brun.add_argument(
+        "--write-records",
+        action="store_true",
+        help="overwrite the committed BENCH_<name>.json records with this "
+        "run's results (re-baselining)",
+    )
+    p_brun.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help="history ledger path (default: <records-dir>/BENCH_history.jsonl)",
+    )
+    p_brun.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this run to the history ledger",
+    )
+    _add_records_dir(p_brun)
+    _add_obs_arguments(p_brun)
+    p_brun.set_defaults(func=_cmd_bench_run)
+
+    p_bcmp = bench_sub.add_parser(
+        "compare",
+        help="compare record files; exit 1 on gate violations or regressions",
+    )
+    p_bcmp.add_argument(
+        "records",
+        nargs="+",
+        help="two record files (baseline current), or current records only "
+        "with --against-committed",
+    )
+    p_bcmp.add_argument(
+        "--against-committed",
+        action="store_true",
+        help="compare each record against its committed BENCH_<name>.json",
+    )
+    _add_records_dir(p_bcmp)
+    p_bcmp.set_defaults(func=_cmd_bench_compare)
+
+    p_bhist = bench_sub.add_parser(
+        "history", help="render the perf trajectory from the ledger"
+    )
+    p_bhist.add_argument(
+        "benchmark", nargs="?", default=None, help="restrict to one benchmark"
+    )
+    p_bhist.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help="ledger path (default: <records-dir>/BENCH_history.jsonl)",
+    )
+    p_bhist.add_argument(
+        "--limit", type=_positive_int, default=None, help="show only the last N runs"
+    )
+    p_bhist.add_argument(
+        "--latest",
+        action="store_true",
+        help="show only the newest record per benchmark",
+    )
+    _add_records_dir(p_bhist)
+    p_bhist.set_defaults(func=_cmd_bench_history)
+
+    p_blist = bench_sub.add_parser("list", help="list registered benchmarks")
+    p_blist.add_argument(
+        "--suite", default=None, help="restrict to one suite (default: all)"
+    )
+    p_blist.set_defaults(func=_cmd_bench_list)
+
+    p_benv = bench_sub.add_parser(
+        "env", help="print the environment fingerprint records are stamped with"
+    )
+    p_benv.set_defaults(func=_cmd_bench_env)
+
     p_lint = subparsers.add_parser(
         "lint",
         help="run the domain-aware static analysis passes (see repro.lint)",
@@ -1062,10 +1436,15 @@ def _run_observed(args: argparse.Namespace, argv: Optional[List[str]]) -> int:
                     return _dispatch(args)
             return _dispatch(args)
     finally:
+        from .perf.env import environment_fingerprint
+
         registry.set_gauge("run.wall_seconds", time.perf_counter() - start)
         meta = {
             "command": args.command,
             "argv": list(argv) if argv is not None else sys.argv[1:],
+            # The same fingerprint bench records carry, so a run report and
+            # the benchmark ledger are attributable to the same machine.
+            "env": environment_fingerprint(),
         }
         if args.trace_out:
             kind = write_trace_file(args.trace_out, recorder.records, meta)

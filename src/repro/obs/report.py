@@ -15,10 +15,51 @@ acceptance check is a one-number read-out.
 from __future__ import annotations
 
 import json
+import statistics
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .metrics import METRICS_SCHEMA
+
+
+# --------------------------------------------------------------------------- #
+# Sample statistics (shared with the repro.perf benchmark harness)
+# --------------------------------------------------------------------------- #
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0–100) with linear interpolation."""
+    if not samples:
+        raise ValueError("percentile() of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile rank must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    frac = rank - low
+    if frac == 0.0:
+        return ordered[low]
+    return ordered[low] * (1.0 - frac) + ordered[low + 1] * frac
+
+
+def median_abs_deviation(samples: Sequence[float]) -> float:
+    """Median absolute deviation — the robust spread of a timing sample set."""
+    if not samples:
+        raise ValueError("median_abs_deviation() of an empty sample set")
+    center = statistics.median(samples)
+    return statistics.median(abs(value - center) for value in samples)
+
+
+def summarize_samples(samples: Sequence[float]) -> Dict[str, float]:
+    """Robust summary of a sample set: min/median/p90/max/MAD."""
+    return {
+        "count": float(len(samples)),
+        "min": min(samples),
+        "median": statistics.median(samples),
+        "p90": percentile(samples, 90.0),
+        "max": max(samples),
+        "mad": median_abs_deviation(samples),
+    }
 
 
 def load_metrics(path: Union[str, Path]) -> Dict[str, object]:
@@ -154,6 +195,21 @@ def format_run_report(
     lines.append(f"run            : {command}")
     if meta.get("argv"):
         lines.append(f"argv           : {' '.join(str(a) for a in meta['argv'])}")
+    env = meta.get("env")
+    if isinstance(env, dict):
+        # The environment fingerprint the CLI stamps into every metrics
+        # document (see repro.perf.env) — provenance first, numbers second.
+        lines.append(
+            "environment    : python {python} ({implementation}), "
+            "{cpu_count} cpu, {platform}".format(
+                python=env.get("python", "?"),
+                implementation=env.get("implementation", "?"),
+                cpu_count=env.get("cpu_count", "?"),
+                platform=env.get("platform", "?"),
+            )
+        )
+        if env.get("git_sha"):
+            lines.append(f"git revision   : {env['git_sha']}")
     if wall is not None:
         lines.append(f"wall time      : {wall:.3f} s")
     totals = counter_totals(document)
