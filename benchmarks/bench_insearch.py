@@ -1,0 +1,21 @@
+"""BENCH-INSEARCH — In-search memoization: repetition speedup, control overhead.
+
+Runs the batch engine memo-on and memo-off (interleaved rounds) over two
+corpora: a repetition-heavy suite of tiled idiom blocks, where the in-search
+memo must deliver at least a 1.3x speedup (``gate_min`` on
+``repetition_speedup``), and a non-repetitive control of distinct random
+blocks, where its overhead must stay under 5% (``gate_max`` on
+``control_overhead``).  Both corpora assert bit-identical cut sets between
+the on and off runs before any timing is recorded.
+
+The measurement body and gates live in the unified harness
+(``repro.perf.suites.insearch``, benchmark name ``insearch``); this script
+is the pytest entry point.  Refresh the committed baseline with
+``repro bench run insearch --write-records``.
+"""
+
+from __future__ import annotations
+
+
+def test_insearch_speedup_and_overhead(bench_harness):
+    bench_harness("insearch")

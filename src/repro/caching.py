@@ -1,0 +1,105 @@
+"""Bounded mapping primitive shared by the repo's hot-path memo tables.
+
+Two subsystems independently grew the same idiom — a plain dict with a size
+cap, FIFO eviction of the oldest insertion, and hit/miss counters
+(:class:`~repro.dfg.reachability.ReachabilityIndex`'s forbidden-between memo
+and the contribution-table region cache).  :class:`BoundedMemo` is the single
+implementation both now share, and the building block for the in-search
+memo's per-domain tables (:mod:`repro.memo.insearch`).
+
+Design notes:
+
+* **FIFO, not LRU.**  Re-ordering on every hit costs a dict delete+insert on
+  the hottest read path in the enumerator.  The workloads these tables serve
+  are dominated by temporal locality of *insertion* (the enumerator revisits
+  recently-extended subgraphs), so evicting the oldest insertion loses little
+  over LRU and keeps ``get`` a single dict probe.
+* **Insertion-order eviction** uses the ``pop(next(iter(...)))`` idiom relied
+  on elsewhere in the tree — Python dicts preserve insertion order, so the
+  first iterator element is always the oldest entry.
+* This module must stay dependency-free (stdlib only): it is imported from
+  ``repro.dfg``, below every other package in the import DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class BoundedMemo(Generic[K, V]):
+    """Size-capped dict with FIFO eviction and hit/miss/eviction counters.
+
+    ``get`` / ``put`` intentionally mirror a plain dict probe plus insert;
+    there is no ``__getitem__`` because every caller wants the
+    counted-miss behaviour, not a ``KeyError``.
+    """
+
+    __slots__ = ("_entries", "limit", "hits", "misses", "evictions")
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"BoundedMemo limit must be >= 1, got {limit}")
+        self._entries: Dict[K, V] = {}
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Return the cached value for *key*, counting the hit or miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value  # type: ignore[return-value]
+
+    def peek(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Like :meth:`get` but without touching the counters."""
+        return self._entries.get(key, default)
+
+    @property
+    def raw_getter(self):
+        """Bound ``dict.get`` over the live entry mapping.
+
+        For hot paths that probe every few microseconds: binding this once
+        removes the attribute chase and wrapper frame of :meth:`peek` from
+        each probe.  Misses return ``None`` (uncounted, like ``peek``);
+        writes must still go through :meth:`put` so the bound stays
+        enforced.  The binding stays valid for the memo's lifetime —
+        :meth:`clear` empties the same dict object it points at.
+        """
+        return self._entries.get
+
+    def put(self, key: K, value: V) -> None:
+        """Insert *key* → *value*, evicting the oldest entry when full."""
+        entries = self._entries
+        if key not in entries and len(entries) >= self.limit:
+            entries.pop(next(iter(entries)))
+            self.evictions += 1
+        entries[key] = value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._entries)
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        return iter(self._entries.items())
+
+    def clear(self, *, reset_counters: bool = False) -> None:
+        """Drop all entries; optionally zero the counters too."""
+        self._entries.clear()
+        if reset_counters:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0

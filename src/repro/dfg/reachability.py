@@ -34,8 +34,9 @@ The central quantity of the paper, ``B(V, w)`` ("the vertices between a set
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
+from ..caching import BoundedMemo
 from .graph import DataFlowGraph
 
 #: Entry cap of the forbidden-between memo (see
@@ -102,11 +103,19 @@ class ReachabilityIndex:
         self._pred_mask: List[int] = [0] * self.num_nodes
         self._succ_mask: List[int] = [0] * self.num_nodes
         self._compute()
-        self._forbidden_between_cache: Dict[Tuple[int, int], int] = {}
-        #: Hit/miss counters of the forbidden-between memo, surfaced through
-        #: :class:`repro.core.stats.EnumerationStats`.
-        self.forbidden_cache_hits = 0
-        self.forbidden_cache_misses = 0
+        self._forbidden_between_cache: BoundedMemo[Tuple[int, int], int] = BoundedMemo(
+            FORBIDDEN_BETWEEN_CACHE_LIMIT
+        )
+
+    @property
+    def forbidden_cache_hits(self) -> int:
+        """Hits of the forbidden-between memo (surfaced in ``EnumerationStats``)."""
+        return self._forbidden_between_cache.hits
+
+    @property
+    def forbidden_cache_misses(self) -> int:
+        """Misses of the forbidden-between memo (surfaced in ``EnumerationStats``)."""
+        return self._forbidden_between_cache.misses
 
     # ------------------------------------------------------------------ #
     # Precomputation
@@ -265,28 +274,22 @@ class ReachabilityIndex:
         and without being *u*.  Every such vertex necessarily becomes an input
         of any cut that contains the whole of ``B({u}, w)`` (Section 5.3).
 
-        Memoised per (u, w), with the memo capped at
-        :data:`FORBIDDEN_BETWEEN_CACHE_LIMIT` entries (first-in evicted) so a
-        long-lived index under the batch runner cannot grow without bound;
-        the hit/miss counters are surfaced through ``EnumerationStats``.
+        Memoised per (u, w) in a :class:`~repro.caching.BoundedMemo` capped
+        at :data:`FORBIDDEN_BETWEEN_CACHE_LIMIT` entries (first-in evicted)
+        so a long-lived index under the batch runner cannot grow without
+        bound; the memo's hit/miss counters are surfaced through
+        ``EnumerationStats``.
         """
-        key = (u, w)
-        cached = self._forbidden_between_cache.get(key)
+        cached = self._forbidden_between_cache.get((u, w))
         if cached is not None:
-            self.forbidden_cache_hits += 1
             return cached
-        self.forbidden_cache_misses += 1
         between = self.between_mask(1 << u, w)
         forced = self.union_predecessors(between)
         forced &= self.forbidden_mask
         forced &= ~between
         forced &= ~(1 << u)
         count = forced.bit_count()
-        if len(self._forbidden_between_cache) >= FORBIDDEN_BETWEEN_CACHE_LIMIT:
-            self._forbidden_between_cache.pop(
-                next(iter(self._forbidden_between_cache))
-            )
-        self._forbidden_between_cache[key] = count
+        self._forbidden_between_cache.put((u, w), count)
         return count
 
     # ------------------------------------------------------------------ #

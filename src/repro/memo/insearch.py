@@ -1,0 +1,472 @@
+"""In-search memoization: recognize repeated local structure mid-enumeration.
+
+The whole-block store (:mod:`repro.memo.store`) and the isomorphism
+deduplication driver (:mod:`repro.memo.dedup`) only pay off when an *entire*
+basic block repeats.  The stronger, memoesu-style form implemented here
+memoizes *inside* the search: the incremental enumerator keeps probing the
+same induced subgraphs — the effective cut bodies reached through different
+choice orderings, the ``B(V, o)`` contribution unions of recurring input
+sets — and every one of those probes is a pure function of the block's
+structure.  Caching them on their packed bit-mask keys turns the repeated
+work into a dict probe, both *within* one block and *across* blocks that
+share local idioms.
+
+Key scheme
+----------
+A raw cut mask only means something relative to one vertex numbering, so the
+memo is **domain-sharded**: entries live in per-domain tables, and a domain
+is keyed by a *name-blind fingerprint* of the augmented block — the SHA-256
+of the per-vertex seed colors ``(opcode, forbidden, live_out)`` in vertex-id
+order plus the sorted edge list (the same certificate scheme as
+:mod:`repro.memo.canon`'s identity form, minus the graph name).  Two blocks
+share a domain exactly when they have identical vertex wiring under
+identical flags, which is precisely when their masks are interchangeable —
+a weaker (and much cheaper) condition than full canonical isomorphism, but
+one that the frontend corpus hits constantly: tiled idioms are emitted with
+the same local numbering every time.  Within a domain, keys are plain
+Python ints (masks, or mask/vertex packs), the fastest hash the runtime has.
+
+Every cached value — the ``cut_profile`` verdict ``(I(S), O(S), convex)``,
+contribution unions, connectivity and depth of a vertex set, and the
+dominator-query caches (reachable regions, immediate-dominator arrays,
+completion steps) that the context re-points at the domain — is determined
+by (seed colors in id order, edge list) alone.  ``Nin``/``Nout``/pruning
+configuration never enter the tables, so one domain serves every pruning
+variant and every constraint set that leaves the forbidden flags unchanged.
+
+Bounds
+------
+The memo is bounded at both levels: at most :data:`DEFAULT_MAX_DOMAINS`
+domains (least-recently-used block shape evicted first) and at most
+:data:`DEFAULT_TABLE_LIMIT` entries per table
+(:class:`~repro.caching.BoundedMemo`, first-in evicted).  Aggregate
+hit/miss/eviction counters feed ``EnumerationStats.insearch_*`` and the
+``enum.insearch_*_total`` observability counters.
+
+Correctness
+-----------
+The memo never changes control flow — it only replaces recomputation — so
+enumeration output is bit-identical with the memo on or off.  With
+``REPRO_DEBUG_VALIDITY=1`` every hit recomputes the value from scratch and
+asserts it matches the cached copy.  ``REPRO_NO_INSEARCH_MEMO=1`` (or the
+CLI's ``--no-insearch-memo``) disables the memo entirely for A/B runs; the
+environment variable is the cross-process switch — batch workers inherit it
+when the pool spawns.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
+
+from ..caching import BoundedMemo
+from ..core.validity import _cut_depth, _is_connected_mask, debug_validation_enabled
+from ..dfg.reachability import ids_from_mask
+from .canon import _hash_certificate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.context import EnumerationContext
+
+#: Environment variable disabling the in-search memo when set to a non-empty
+#: value.  An env var (not a wire field) so that pool workers inherit the
+#: toggle from the parent process without a chunk-payload shape change.
+INSEARCH_ENV = "REPRO_NO_INSEARCH_MEMO"
+
+#: Bound on the number of block-shape domains one memo keeps (LRU evicted).
+DEFAULT_MAX_DOMAINS = 64
+
+#: Entry cap of each per-domain table (first-in evicted; see
+#: :class:`repro.caching.BoundedMemo`).  Sized so that the search spaces of
+#: realistic basic blocks fit without thrash — entries are small (ints and
+#: short tuples), so even a full memo stays in the tens of megabytes.
+DEFAULT_TABLE_LIMIT = 65536
+
+#: Process-local override of the enable switch: ``None`` defers to the
+#: environment, ``True``/``False`` forces the state (parent process only —
+#: already-spawned workers keep reading their inherited environment).
+_FORCED: Optional[bool] = None
+
+#: The environment switch, resolved once at import: ``insearch_enabled`` sits
+#: on per-cut paths, so it must not pay an ``os.environ`` probe per call.
+#: Workers re-resolve it when they import this module after pool spawn;
+#: in-process toggles go through :func:`set_insearch_enabled` /
+#: :func:`insearch_disabled`, which override it via :data:`_FORCED`.
+_ENV_ENABLED = not os.environ.get(INSEARCH_ENV)
+
+
+def insearch_enabled() -> bool:
+    """``True`` when the in-search memo is active in this process."""
+    if _FORCED is not None:
+        return _FORCED
+    return _ENV_ENABLED
+
+
+def set_insearch_enabled(value: Optional[bool]) -> None:
+    """Force the memo on/off in this process; ``None`` defers to the env."""
+    global _FORCED
+    _FORCED = value
+
+
+@contextmanager
+def insearch_disabled() -> Iterator[None]:
+    """Temporarily disable the memo — in this process *and*, via
+    :data:`INSEARCH_ENV`, in any worker pool spawned inside the block."""
+    previous_forced = _FORCED
+    previous_env = os.environ.get(INSEARCH_ENV)
+    set_insearch_enabled(False)
+    os.environ[INSEARCH_ENV] = "1"
+    try:
+        yield
+    finally:
+        set_insearch_enabled(previous_forced)
+        if previous_env is None:
+            os.environ.pop(INSEARCH_ENV, None)
+        else:
+            os.environ[INSEARCH_ENV] = previous_env
+
+
+def domain_key_for(context: "EnumerationContext") -> str:
+    """Name-blind fingerprint of the context's augmented block.
+
+    Hashes the per-vertex ``(opcode, forbidden, live_out)`` seeds in
+    vertex-id order together with the sorted edge list of the *augmented*
+    graph, with the forbidden bits taken from the context's live
+    ``forbidden_mask`` — the exact determinants of every value the memo
+    stores.  Graph names and free-form attributes are excluded, so renamed
+    copies of the same block share a domain.
+    """
+    graph = context.augmented.graph
+    forbidden = context.forbidden_mask
+    seeds = tuple(
+        (
+            node.opcode.value,
+            bool((forbidden >> node.node_id) & 1),
+            bool(node.live_out),
+        )
+        for node in graph.nodes()
+    )
+    return _hash_certificate(seeds, tuple(sorted(graph.edges())))
+
+
+class _Domain:
+    """The bounded tables of one block-shape domain."""
+
+    __slots__ = (
+        "profiles",
+        "contrib",
+        "connected",
+        "depth",
+        "regions",
+        "idoms",
+        "completions",
+        "seeds",
+    )
+
+    def __init__(self, table_limit: int) -> None:
+        #: mask -> (inputs_mask, outputs_mask, convex) — the acceptance-test
+        #: verdict of :meth:`ReachabilityIndex.cut_profile`.
+        self.profiles: BoundedMemo[int, Tuple[int, int, bool]] = BoundedMemo(table_limit)
+        #: (sources_mask << shift | output) -> B(V, output) union (multi-bit
+        #: source sets only; single vertices are a plain table-row lookup).
+        self.contrib: BoundedMemo[int, int] = BoundedMemo(table_limit)
+        #: mask -> Definition-4 connectivity verdict.
+        self.connected: BoundedMemo[int, bool] = BoundedMemo(table_limit)
+        #: mask -> longest-path depth of the induced subgraph.
+        self.depth: BoundedMemo[int, int] = BoundedMemo(table_limit)
+        #: mask -> tuple of its set-bit ids (seed-candidate extraction).
+        self.seeds: BoundedMemo[int, Tuple[int, ...]] = BoundedMemo(table_limit)
+        # The dominator-query caches of the context hot path.  These three
+        # are not consulted through the view: the context re-points its
+        # private `_reachable_cache`/`_idom_cache`/`_completion_cache` at
+        # them (see :meth:`EnumerationContext.insearch_view`), so the
+        # existing region-keyed dominator machinery transparently serves
+        # every same-shape block from one shared cache.  They stay *plain
+        # dicts* — on that path even a counting wrapper's function call is
+        # measurable — and are bounded by the context's own
+        # ``REGION_CACHE_LIMIT`` first-in eviction; their effect shows up
+        # in ``lt_calls``, not in the memo's hit/miss counters.
+        #: avoid_mask -> reachable-region mask.
+        self.regions: dict = {}
+        #: reachable-region mask -> immediate-dominator array.
+        self.idoms: dict = {}
+        #: (reachable-region mask, output) -> CompletionResult.
+        self.completions: dict = {}
+
+    def tables(self) -> Tuple[BoundedMemo, ...]:
+        return (self.profiles, self.contrib, self.connected, self.depth, self.seeds)
+
+    def dominator_dicts(self) -> Tuple[dict, ...]:
+        return (self.regions, self.idoms, self.completions)
+
+
+class InSearchMemo:
+    """Bounded, domain-sharded store of in-search verdicts.
+
+    One memo is shared by every context of a :class:`ContextCache` (parent
+    or worker side) and therefore by every pruning configuration and every
+    same-shape block the cache ever serves.  ``hits``/``misses`` are
+    aggregate consultation counters maintained by the views; ``evictions``
+    sums table-level FIFO evictions plus the entries dropped with evicted
+    domains.
+    """
+
+    def __init__(
+        self,
+        max_domains: int = DEFAULT_MAX_DOMAINS,
+        table_limit: int = DEFAULT_TABLE_LIMIT,
+    ) -> None:
+        if max_domains < 1:
+            raise ValueError(f"max_domains must be >= 1, got {max_domains}")
+        self.max_domains = max_domains
+        self.table_limit = table_limit
+        self._domains: "OrderedDict[str, _Domain]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self._retired_hits = 0
+        self._retired_misses = 0
+        self._retired_evictions = 0
+
+    def domain(self, key: str) -> _Domain:
+        """The domain of *key*, created (and LRU-bounded) on demand."""
+        dom = self._domains.get(key)
+        if dom is not None:
+            self._domains.move_to_end(key)
+            return dom
+        while len(self._domains) >= self.max_domains:
+            _, evicted = self._domains.popitem(last=False)
+            self._retire(evicted)
+        dom = _Domain(self.table_limit)
+        self._domains[key] = dom
+        return dom
+
+    def _retire(self, dom: _Domain) -> None:
+        """Fold a dropped domain's table counters into the retired totals."""
+        for table in dom.tables():
+            self._retired_hits += table.hits
+            self._retired_misses += table.misses
+            self._retired_evictions += len(table) + table.evictions
+        for cache in dom.dominator_dicts():
+            self._retired_evictions += len(cache)
+
+    def view_for(self, context: "EnumerationContext") -> "InSearchView":
+        """A view binding *context* to its block-shape domain."""
+        key = domain_key_for(context)
+        return InSearchView(self, self.domain(key), key, context)
+
+    @property
+    def evictions(self) -> int:
+        """Total entries evicted, live tables and retired domains combined."""
+        total = self._retired_evictions
+        for dom in self._domains.values():
+            for table in dom.tables():
+                total += table.evictions
+        return total
+
+    def counters(self) -> Tuple[int, int, int]:
+        """``(hits, misses, evictions)`` snapshot for per-run deltas.
+
+        Hits and misses combine the view-maintained consultation counters
+        (``self.hits``/``self.misses``; the view probes its tables with
+        :meth:`BoundedMemo.peek`, which does not count) with any table-level
+        counters, and fold in retired domains so the totals never go
+        backwards.  The domain's plain-dict dominator caches are
+        deliberately uncounted — their effect is visible as a reduced
+        ``lt_calls`` instead.
+        """
+        hits = self.hits + self._retired_hits
+        misses = self.misses + self._retired_misses
+        for dom in self._domains.values():
+            for table in dom.tables():
+                hits += table.hits
+                misses += table.misses
+        return hits, misses, self.evictions
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    def clear(self) -> None:
+        """Drop every domain (counters keep accumulating)."""
+        for dom in self._domains.values():
+            self._retire(dom)
+        self._domains.clear()
+
+
+class InSearchView:
+    """One context's handle on its memo domain.
+
+    Binds the context's reachability index and contribution tables once, so
+    the per-call overhead of every method is the dict probe plus one counter
+    increment.  Created through
+    :meth:`EnumerationContext.insearch_view`, which revalidates the binding
+    whenever the context's forbidden mask or attached memo changes.
+    """
+
+    __slots__ = (
+        "memo",
+        "domain",
+        "domain_key",
+        "forbidden_fingerprint",
+        "_context",
+        "_reach",
+        "_tables",
+        "_pack_shift",
+        "_debug",
+        "_profiles_get",
+        "_profiles_put",
+        "_contrib_get",
+        "_contrib_put",
+        "_connected_get",
+        "_connected_put",
+        "_depth_get",
+        "_depth_put",
+        "_seeds_get",
+        "_seeds_put",
+    )
+
+    def __init__(
+        self,
+        memo: InSearchMemo,
+        domain: _Domain,
+        domain_key: str,
+        context: "EnumerationContext",
+    ) -> None:
+        self.memo = memo
+        self.domain = domain
+        self.domain_key = domain_key
+        self._context = context
+        self._reach = context.reach
+        self._tables = context.contribution_tables
+        self.forbidden_fingerprint = context.forbidden_mask
+        # Contribution keys pack (sources_mask, output) into one int: the
+        # output id occupies the low bits, the mask is shifted above it.
+        self._pack_shift = max(1, context.num_nodes).bit_length()
+        self._debug = debug_validation_enabled()
+        # Probes run every few microseconds, so each table's reader and
+        # writer are bound once (see :attr:`BoundedMemo.raw_getter`).
+        self._profiles_get = domain.profiles.raw_getter
+        self._profiles_put = domain.profiles.put
+        self._contrib_get = domain.contrib.raw_getter
+        self._contrib_put = domain.contrib.put
+        self._connected_get = domain.connected.raw_getter
+        self._connected_put = domain.connected.put
+        self._depth_get = domain.depth.raw_getter
+        self._depth_put = domain.depth.put
+        self._seeds_get = domain.seeds.raw_getter
+        self._seeds_put = domain.seeds.put
+
+    # ------------------------------------------------------------------ #
+    def cut_profile(self, mask: int) -> Tuple[int, int, bool]:
+        """Memoized ``(I(S), O(S), convex)`` of the vertex set *mask*."""
+        cached = self._profiles_get(mask)
+        if cached is not None:
+            self.memo.hits += 1
+            if self._debug:
+                fresh = self._reach.cut_profile(mask)
+                assert cached == fresh, (
+                    f"in-search memo profile mismatch on {mask:#x}: "
+                    f"cached={cached} fresh={fresh}"
+                )
+            return cached
+        self.memo.misses += 1
+        profile = self._reach.cut_profile(mask)
+        self._profiles_put(mask, profile)
+        return profile
+
+    def cut_outputs(self, mask: int) -> int:
+        """``O(S)``, answered from the profile table when already warmed.
+
+        Misses fall back to the raw outputs-only pass *without* computing a
+        full profile: this query runs on sets the search usually discards,
+        so paying the extra inputs/convexity work (and a table slot) for
+        them would cost more than the hits save.  The profiles table is
+        warmed by :meth:`cut_profile` — the acceptance test — whose sets
+        recur.
+        """
+        cached = self._profiles_get(mask)
+        if cached is not None:
+            self.memo.hits += 1
+            return cached[1]
+        self.memo.misses += 1
+        return self._reach.cut_outputs_mask(mask)
+
+    def between_union(self, sources_mask: int, output: int) -> int:
+        """Memoized ``B(V, output)`` union for multi-vertex source sets.
+
+        Single-vertex sets bypass the memo: the contribution tables already
+        answer them with one list index.
+        """
+        if sources_mask & (sources_mask - 1) == 0:
+            if not sources_mask:
+                return 0
+            return self._tables.between(sources_mask.bit_length() - 1, output)
+        key = (sources_mask << self._pack_shift) | output
+        cached = self._contrib_get(key)
+        if cached is not None:
+            self.memo.hits += 1
+            if self._debug:
+                fresh = self._tables.between_union(sources_mask, output)
+                assert cached == fresh, (
+                    f"in-search memo contribution mismatch on "
+                    f"({sources_mask:#x}, {output}): cached={cached:#x} fresh={fresh:#x}"
+                )
+            return cached
+        self.memo.misses += 1
+        union = self._tables.between_union(sources_mask, output)
+        self._contrib_put(key, union)
+        return union
+
+    def is_connected(self, mask: int, outputs_mask: int) -> bool:
+        """Memoized Definition-4 connectivity of the vertex set *mask*.
+
+        *outputs_mask* must be ``O(mask)`` (it is derived from the mask, so
+        the mask alone is a sufficient key).
+        """
+        cached = self._connected_get(mask)
+        if cached is not None:
+            self.memo.hits += 1
+            if self._debug:
+                fresh = _is_connected_mask(self._context, mask, outputs_mask)
+                assert cached == fresh, (
+                    f"in-search memo connectivity mismatch on {mask:#x}: "
+                    f"cached={cached} fresh={fresh}"
+                )
+            return cached
+        self.memo.misses += 1
+        verdict = _is_connected_mask(self._context, mask, outputs_mask)
+        self._connected_put(mask, verdict)
+        return verdict
+
+    def cut_depth(self, mask: int) -> int:
+        """Memoized longest-path depth of the vertex set *mask*."""
+        cached = self._depth_get(mask)
+        if cached is not None:
+            self.memo.hits += 1
+            if self._debug:
+                fresh = _cut_depth(self._context, mask)
+                assert cached == fresh, (
+                    f"in-search memo depth mismatch on {mask:#x}: "
+                    f"cached={cached} fresh={fresh}"
+                )
+            return cached
+        self.memo.misses += 1
+        depth = _cut_depth(self._context, mask)
+        self._depth_put(mask, depth)
+        return depth
+
+    def ids_tuple(self, mask: int) -> Tuple[int, ...]:
+        """Memoized set-bit extraction of *mask* (seed-candidate lists).
+
+        A pure function of the mask alone, but the same ancestor masks recur
+        throughout one block's search — and across same-shape blocks — so
+        the cached tuple replaces the per-call bit-extraction loop.
+        """
+        cached = self._seeds_get(mask)
+        if cached is not None:
+            self.memo.hits += 1
+            return cached
+        self.memo.misses += 1
+        ids = tuple(ids_from_mask(mask))
+        self._seeds_put(mask, ids)
+        return ids
